@@ -1,0 +1,91 @@
+"""Figure 12: effect of hyb column partitioning on cache hit rates and duration.
+
+The paper fixes the feature size to 128 on the Reddit graph and varies the
+number of column partitions of the ``hyb`` format: L1/L2 hit rates increase
+with more partitions while the kernel duration first drops, then saturates as
+the extra output traffic catches up.
+
+The full-size Reddit graph is far beyond a pure-Python run, so this benchmark
+uses a synthetic power-law graph whose dense operand (``X``) is several times
+the size of the simulated L2 cache — the regime where column partitioning
+matters.  Hit rates come from the set-associative LRU cache simulator fed
+with a sampled trace of the kernel's X accesses; durations come from the
+performance model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats.hyb import HybFormat
+from repro.ops.spmm import spmm_hyb_workload
+from repro.perf.cache import CacheHierarchy
+from repro.perf.device import V100
+from repro.perf.gpu_model import GPUModel
+from repro.workloads.graphs import generate_adjacency
+
+FEAT_SIZE = 128
+PARTITIONS = (1, 2, 4, 8, 16)
+
+#: Paper-reported trend on Reddit (V100): L2 hit rate 24.8% -> 88.8%,
+#: duration 64.6ms -> 27.3ms as partitions go from 1 to 16.
+PAPER_L2_HIT = {1: 24.8, 2: 29.8, 4: 50.5, 8: 73.3, 16: 88.8}
+
+
+def _x_row_trace(hyb: HybFormat, sample_stride: int = 2) -> np.ndarray:
+    """Sampled trace of X-row accesses (one address per gathered row)."""
+    row_bytes = FEAT_SIZE * 4
+    addresses = []
+    for bucket in hyb.buckets:
+        cols = bucket.ell.indices[::sample_stride].reshape(-1)
+        cols = cols[cols >= 0] + bucket.col_offset
+        addresses.append(cols * row_bytes)
+    return np.concatenate(addresses) if addresses else np.zeros(0, dtype=np.int64)
+
+
+@pytest.mark.figure("fig12")
+def test_fig12_column_partitioning_cache_behaviour(benchmark):
+    # X occupies feat * 4 * nodes = 12 MB >> 6 MB of V100 L2.
+    graph = generate_adjacency(24000, 360000, "powerlaw", seed=21)
+    model = GPUModel(V100)
+
+    def run():
+        series = {}
+        for parts in PARTITIONS:
+            hyb = HybFormat.from_csr(graph, num_col_parts=parts, num_buckets=5)
+            hierarchy = CacheHierarchy(
+                l1_bytes=V100.l1_bytes_per_sm,
+                l2_bytes=V100.l2_bytes,
+                line_bytes=FEAT_SIZE * 4,
+                num_l1=8,
+            )
+            trace = _x_row_trace(hyb)
+            slots = np.arange(len(trace)) % 8
+            stats = hierarchy.run_trace(trace, slots)
+            duration = model.estimate(spmm_hyb_workload(hyb, FEAT_SIZE, V100)).duration_us
+            series[parts] = {
+                "l1_hit_percent": 100.0 * stats["l1"].hit_rate,
+                "l2_hit_percent": 100.0 * stats["l2"].hit_rate,
+                "duration_us": duration,
+            }
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\n=== Figure 12: column partitions vs cache hit rate and duration (V100) ===")
+    print(f"{'#partitions':>12}{'L1 hit %':>12}{'L2 hit %':>12}{'duration (us)':>16}{'paper L2 %':>12}")
+    for parts in PARTITIONS:
+        row = series[parts]
+        print(f"{parts:>12}{row['l1_hit_percent']:>12.1f}{row['l2_hit_percent']:>12.1f}"
+              f"{row['duration_us']:>16.1f}{PAPER_L2_HIT[parts]:>12.1f}")
+
+    # Shape: column partitioning lifts the cache hit rates (the L1 rate grows
+    # monotonically; the L2 rate jumps once the partition's slice of X fits),
+    # and the best partitioned configuration beats the unpartitioned kernel —
+    # with the benefit saturating as the extra output traffic catches up,
+    # exactly the saturation the paper describes.
+    l1 = [series[p]["l1_hit_percent"] for p in PARTITIONS]
+    assert all(b >= a - 1e-6 for a, b in zip(l1, l1[1:]))
+    l2_first = series[PARTITIONS[0]]["l2_hit_percent"]
+    assert all(series[p]["l2_hit_percent"] > l2_first + 10 for p in PARTITIONS[1:])
+    durations = [series[p]["duration_us"] for p in PARTITIONS]
+    assert min(durations[1:]) < durations[0]

@@ -1,0 +1,76 @@
+"""Figure 13: SpMM speedup over cuSPARSE across GNN graphs and systems.
+
+For every graph of Table 1 the benchmark evaluates cuSPARSE, Sputnik,
+dgSPARSE, TACO, SparseTIR without format decomposition, and SparseTIR with
+the tuned ``hyb`` format, and reports the geometric-mean speedup over
+cuSPARSE across the paper's feature sizes {32, 64, 128, 256, 512}.
+"""
+
+import pytest
+
+from bench_helpers import FEATURE_SIZES, geomean, spmm_system_durations
+from conftest import print_speedup_table
+from repro.formats.hyb import HybFormat
+from repro.ops.spmm import choose_hyb_parameters
+from repro.tune import tune_spmm
+from repro.workloads.graphs import available_graphs, synthetic_graph
+
+SYSTEMS = ("cuSPARSE", "Sputnik", "dgSPARSE", "TACO", "SparseTIR(no-hyb)", "SparseTIR(hyb)")
+
+#: Paper-reported geometric-mean speedups of SparseTIR(hyb) vs cuSPARSE.
+PAPER_HYB_SPEEDUP = {
+    "V100": {"cora": 2.3, "citeseer": 2.3, "pubmed": 1.6, "ppi": 1.2, "ogbn-arxiv": 1.4,
+             "ogbn-proteins": 1.3, "reddit": 1.5},
+    "RTX3070": {"cora": 1.9, "citeseer": 1.8, "pubmed": 1.6, "ppi": 1.2, "ogbn-arxiv": 1.3,
+                "ogbn-proteins": 1.5, "reddit": 1.6},
+}
+
+
+@pytest.mark.figure("fig13")
+def test_fig13_spmm_speedup_vs_cusparse(benchmark, device):
+    graphs = {name: synthetic_graph(name, seed=0) for name in available_graphs()}
+
+    def run():
+        table = {}
+        for name, graph in graphs.items():
+            csr = graph.to_csr()
+            # Tune the composable format once per graph (amortised, as in §2).
+            result = tune_spmm(csr, 128, device, max_trials=16, seed=0)
+            hyb = HybFormat.from_csr(
+                csr,
+                num_col_parts=result.best_config["num_col_parts"],
+                num_buckets=result.best_config["num_buckets"],
+            )
+            speedups = {system: [] for system in SYSTEMS}
+            for feat in FEATURE_SIZES:
+                durations = spmm_system_durations(
+                    csr, feat, device, hyb=hyb,
+                    hyb_threads=result.best_config["threads_per_block"],
+                )
+                base = durations["cuSPARSE"]
+                for system in SYSTEMS:
+                    speedups[system].append(base / durations[system])
+            table[name] = {system: geomean(values) for system, values in speedups.items()}
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_speedup_table(
+        f"Figure 13 ({device.name}): SpMM geomean speedup vs cuSPARSE",
+        list(graphs), SYSTEMS, table,
+        note="feature sizes {32,64,128,256,512}; paper reports 1.2-2.3x for SparseTIR(hyb)",
+    )
+    print("paper SparseTIR(hyb) reference:", PAPER_HYB_SPEEDUP[device.name])
+
+    # Shape checks.  On the power-law citation/social graphs the tuned
+    # composable-format kernel beats the vendor library and the
+    # no-decomposition ablation, as in the paper.  The reddit/ogbn-proteins
+    # instances are scaled down so far that the dense operand fits in L2,
+    # which removes the column-partitioning advantage the full-size graphs
+    # enjoy (see EXPERIMENTS.md); there the requirement is only that hyb
+    # stays within ~30% of cuSPARSE.
+    for name in ("cora", "citeseer", "pubmed", "ogbn-arxiv"):
+        assert table[name]["SparseTIR(hyb)"] >= 1.0
+    for name, row in table.items():
+        assert row["SparseTIR(hyb)"] >= 0.65
+    assert table["ogbn-arxiv"]["SparseTIR(hyb)"] > table["ogbn-arxiv"]["SparseTIR(no-hyb)"]
+    assert table["ppi"]["SparseTIR(hyb)"] > table["ppi"]["SparseTIR(no-hyb)"]

@@ -1,0 +1,55 @@
+"""Composable formats: decompose a CSR SpMM into BSR + ELL computations.
+
+Reproduces the flow of Figure 5 / Appendix A of the paper: the matrix is
+split into a block-friendly part (stored BSR) and a light remainder (stored
+ELL), the SpMM program is rewritten with ``decompose_format``, and the
+decomposed program — copy iterations plus one compute iteration per format —
+is lowered, executed and checked against the monolithic result.
+
+Run with:  python examples/format_decomposition.py
+"""
+
+import numpy as np
+
+from repro.core import build, decompose_format
+from repro.formats import CSRMatrix
+from repro.formats.conversion import bsr_rewrite_rule, ell_rewrite_rule, split_csr_for_composition
+from repro.ops.spmm import build_spmm_program, spmm_reference
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    # A matrix whose heavy rows benefit from blocks and whose light rows fit ELL.
+    dense = np.zeros((32, 32), dtype=np.float32)
+    dense[:8, :16] = rng.random((8, 16))                      # dense block region
+    light = rng.random((24, 32)) < 0.06
+    dense[8:, :] = light * rng.random((24, 32))               # scattered remainder
+    matrix = CSRMatrix.from_dense(dense)
+    feat_size = 8
+    features = rng.standard_normal((32, feat_size)).astype(np.float32)
+
+    # Split the matrix and build the two rewrite rules of Appendix A.
+    ell_width = 4
+    bsr, ell, heavy, lightpart = split_csr_for_composition(matrix, block_size=4, ell_width=ell_width)
+    print(f"heavy part -> {bsr}")
+    print(f"light part -> {ell}")
+
+    program = build_spmm_program(matrix, feat_size, features)
+    rules = [bsr_rewrite_rule(bsr, buffer_name="A"), ell_rewrite_rule(ell, buffer_name="A")]
+    decomposed = decompose_format(program, rules)
+    print("=== decomposed stage-I program ===")
+    print(decomposed.script())
+
+    kernel = build(decomposed)
+    out = kernel.run()
+    result = out["C"].reshape(matrix.rows, feat_size)
+    reference = spmm_reference(matrix, features)
+    error = np.abs(result - reference).max()
+    print(f"max |error| of the decomposed kernel: {error:.2e}")
+    assert error < 1e-3
+    print(f"kernel launches before horizontal fusion: {len(decomposed.sparse_iterations())}, "
+          f"after: {kernel.num_launches}")
+
+
+if __name__ == "__main__":
+    main()

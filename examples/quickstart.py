@@ -1,0 +1,64 @@
+"""Quickstart: build, lower, run and profile a SparseTIR SpMM kernel.
+
+This walks the full pipeline of the paper on a small random sparse matrix:
+
+1. write the stage-I (coordinate space) program with the builder API;
+2. lower it to stage II (position space) and stage III (flat loops);
+3. execute the compiled kernel on the NumPy runtime and check it against a
+   dense reference;
+4. inspect the generated CUDA-like listing;
+5. estimate its execution time on a simulated V100.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import Schedule, build, lower_sparse_iterations
+from repro.formats import CSRMatrix
+from repro.ops.spmm import build_spmm_program, spmm_reference
+from repro.perf.device import V100
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    matrix = CSRMatrix.random(rows=64, cols=96, density=0.08, seed=0)
+    feat_size = 16
+    features = rng.standard_normal((matrix.cols, feat_size)).astype(np.float32)
+
+    # 1. Stage-I program (Figure 3 of the paper).
+    program = build_spmm_program(matrix, feat_size, features)
+    print("=== stage-I program ===")
+    print(program.script())
+
+    # 2. Lower to stage II and apply a loop-level schedule: bind the row loop
+    #    to thread blocks and the feature loop to threads.
+    stage2 = lower_sparse_iterations(program)
+    schedule = Schedule(stage2)
+    loops = schedule.get_loops("spmm_compute")
+    schedule.bind(loops[0], "blockIdx.x")
+    schedule.bind(loops[-1], "threadIdx.x")
+
+    # 3. Build (stage III + codegen) and execute on the NumPy runtime.
+    kernel = build(schedule.func)
+    out = kernel.run()
+    result = out["C"].reshape(matrix.rows, feat_size)
+    reference = spmm_reference(matrix, features)
+    error = np.abs(result - reference).max()
+    print(f"max |error| vs dense reference: {error:.2e}")
+    assert error < 1e-4
+
+    # 4. The CUDA-like listing produced by code generation.
+    print("=== generated kernel (excerpt) ===")
+    print("\n".join(kernel.cuda_source().splitlines()[:16]))
+
+    # 5. Performance estimate on a simulated V100.
+    report = kernel.profile(V100)
+    print(
+        f"estimated duration on {report.device}: {report.duration_us:.1f} us "
+        f"({report.total_flops / 1e6:.2f} MFLOP, {report.total_dram_bytes / 1e6:.2f} MB DRAM)"
+    )
+
+
+if __name__ == "__main__":
+    main()

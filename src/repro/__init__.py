@@ -1,0 +1,23 @@
+"""repro: a from-scratch reproduction of SparseTIR (ASPLOS 2023).
+
+The package implements composable sparse formats, the three-stage SparseTIR
+IR with composable transformations, a NumPy execution backend, a simulated
+GPU performance model, the sparse operators and baselines evaluated in the
+paper, synthetic workload generators, end-to-end GNN models, and a format /
+schedule auto-tuner.
+
+Quick start::
+
+    from repro.ops import spmm
+    from repro.workloads.graphs import synthetic_graph
+    from repro.perf.device import V100
+
+    graph = synthetic_graph("ogbn-arxiv-small", seed=0)
+    result = spmm.spmm_sparsetir_hyb(graph.to_csr(), feat_size=32, device=V100)
+"""
+
+from . import core
+
+__version__ = "0.1.0"
+
+__all__ = ["core", "__version__"]

@@ -1,0 +1,54 @@
+"""Core SparseTIR abstraction: axes, sparse buffers, sparse iterations and the
+three-stage compilation pipeline (coordinate space -> position space -> flat
+loops), plus composable transformations at each stage."""
+
+from .axes import (
+    Axis,
+    DenseFixedAxis,
+    DenseVariableAxis,
+    SparseFixedAxis,
+    SparseVariableAxis,
+    dense_fixed,
+    dense_variable,
+    sparse_fixed,
+    sparse_variable,
+)
+from .buffers import FlatBuffer, SparseBuffer, match_sparse_buffer
+from .codegen import Kernel, build
+from .program import STAGE_COORDINATE, STAGE_LOOP, STAGE_POSITION, PrimFunc
+from .script import ProgramBuilder
+from .sparse_iteration import SparseIteration, fuse
+from .stage1 import FormatRewriteRule, decompose_format, sparse_fuse, sparse_reorder
+from .stage2 import Schedule, lower_sparse_iterations
+from .stage3 import lower_sparse_buffers
+
+__all__ = [
+    "Axis",
+    "DenseFixedAxis",
+    "DenseVariableAxis",
+    "SparseFixedAxis",
+    "SparseVariableAxis",
+    "dense_fixed",
+    "dense_variable",
+    "sparse_fixed",
+    "sparse_variable",
+    "SparseBuffer",
+    "FlatBuffer",
+    "match_sparse_buffer",
+    "PrimFunc",
+    "STAGE_COORDINATE",
+    "STAGE_POSITION",
+    "STAGE_LOOP",
+    "ProgramBuilder",
+    "SparseIteration",
+    "fuse",
+    "FormatRewriteRule",
+    "decompose_format",
+    "sparse_reorder",
+    "sparse_fuse",
+    "Schedule",
+    "lower_sparse_iterations",
+    "lower_sparse_buffers",
+    "Kernel",
+    "build",
+]

@@ -1,0 +1,333 @@
+"""Axis abstractions: the building blocks of composable sparse formats.
+
+Section 3.1 of the paper defines an *axis* as a data structure with two
+orthogonal attributes:
+
+* ``dense`` / ``sparse`` — whether the coordinates of non-zero elements along
+  the axis are contiguous;
+* ``fixed`` / ``variable`` — whether the number of non-zero elements along
+  the axis is the same for every parent position.
+
+Variable axes carry an ``indptr`` array; sparse axes carry an ``indices``
+array.  Every axis except a dense-fixed one has a ``parent`` axis.  Axes hold
+the auxiliary (structural) data, while :class:`~repro.core.buffers.SparseBuffer`
+holds only values, so several buffers may share one structure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Axis:
+    """Base class of the four axis kinds."""
+
+    is_dense: bool = True
+    is_fixed: bool = True
+
+    def __init__(self, name: str, length: int, idtype: str = "int32"):
+        if length < 0:
+            raise ValueError(f"axis {name!r}: length must be non-negative, got {length}")
+        self.name = name
+        self.length = int(length)
+        self.idtype = idtype
+        self.parent: Optional[Axis] = None
+
+    # -- structural queries -------------------------------------------------
+    @property
+    def is_sparse(self) -> bool:
+        return not self.is_dense
+
+    @property
+    def is_variable(self) -> bool:
+        return not self.is_fixed
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def ancestors(self) -> List["Axis"]:
+        """Return the chain of ancestor axes from the root down to ``self``.
+
+        This is the ``anc`` function of equation (5) in the paper, including
+        the axis itself.
+        """
+        chain: List[Axis] = []
+        axis: Optional[Axis] = self
+        while axis is not None:
+            chain.append(axis)
+            axis = axis.parent
+        chain.reverse()
+        return chain
+
+    def depth(self) -> int:
+        """Number of ancestors above this axis (root has depth 0)."""
+        return len(self.ancestors()) - 1
+
+    # -- runtime structure --------------------------------------------------
+    def nnz_total(self) -> int:
+        """Total number of (padded) positions in the iteration space rooted
+        at the parent chain and ending at this axis."""
+        raise NotImplementedError
+
+    def row_extent(self, parent_position: int) -> int:
+        """Number of positions along this axis for a given parent position."""
+        raise NotImplementedError
+
+    def row_start(self, parent_position: int) -> int:
+        """Offset of the first position of the given parent row in the
+        flattened position space of this axis."""
+        raise NotImplementedError
+
+    def position_to_coordinate(self, parent_position: int, position: int) -> int:
+        """Decompress a position into a coordinate (equation 3)."""
+        raise NotImplementedError
+
+    def coordinate_to_position(self, parent_position: int, coordinate: int) -> int:
+        """Compress a coordinate into a position (equation 4).
+
+        Returns ``-1`` when the coordinate is not present (the element is a
+        structural zero).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        kind = ("dense" if self.is_dense else "sparse") + "_" + (
+            "fixed" if self.is_fixed else "variable"
+        )
+        return f"{kind}({self.name!r}, length={self.length})"
+
+
+class DenseFixedAxis(Axis):
+    """A dense axis with a fixed extent; the root of every axis tree."""
+
+    is_dense = True
+    is_fixed = True
+
+    def nnz_total(self) -> int:
+        return self.length
+
+    def row_extent(self, parent_position: int) -> int:
+        return self.length
+
+    def row_start(self, parent_position: int) -> int:
+        return parent_position * self.length
+
+    def position_to_coordinate(self, parent_position: int, position: int) -> int:
+        return position
+
+    def coordinate_to_position(self, parent_position: int, coordinate: int) -> int:
+        if 0 <= coordinate < self.length:
+            return coordinate
+        return -1
+
+
+class DenseVariableAxis(Axis):
+    """A dense axis whose extent varies per parent row (ragged dimension)."""
+
+    is_dense = True
+    is_fixed = False
+
+    def __init__(
+        self,
+        name: str,
+        parent: Axis,
+        length: int,
+        nnz: int,
+        indptr: Optional[np.ndarray] = None,
+        idtype: str = "int32",
+    ):
+        super().__init__(name, length, idtype)
+        self.parent = parent
+        self.nnz = int(nnz)
+        self.indptr = None if indptr is None else np.asarray(indptr, dtype=np.int64)
+        _validate_indptr(self.indptr, self.name)
+
+    def nnz_total(self) -> int:
+        return self.nnz
+
+    def row_extent(self, parent_position: int) -> int:
+        self._require_data()
+        return int(self.indptr[parent_position + 1] - self.indptr[parent_position])
+
+    def row_start(self, parent_position: int) -> int:
+        self._require_data()
+        return int(self.indptr[parent_position])
+
+    def position_to_coordinate(self, parent_position: int, position: int) -> int:
+        return position
+
+    def coordinate_to_position(self, parent_position: int, coordinate: int) -> int:
+        if 0 <= coordinate < self.row_extent(parent_position):
+            return coordinate
+        return -1
+
+    def _require_data(self) -> None:
+        if self.indptr is None:
+            raise ValueError(f"axis {self.name!r} has no indptr array bound")
+
+
+class SparseFixedAxis(Axis):
+    """A sparse axis with a fixed number of non-zeros per parent row (ELL)."""
+
+    is_dense = False
+    is_fixed = True
+
+    def __init__(
+        self,
+        name: str,
+        parent: Axis,
+        length: int,
+        nnz_cols: int,
+        indices: Optional[np.ndarray] = None,
+        idtype: str = "int32",
+    ):
+        super().__init__(name, length, idtype)
+        self.parent = parent
+        self.nnz_cols = int(nnz_cols)
+        self.indices = None if indices is None else np.asarray(indices, dtype=np.int64)
+
+    def nnz_total(self) -> int:
+        return self.parent.nnz_total() * self.nnz_cols
+
+    def row_extent(self, parent_position: int) -> int:
+        return self.nnz_cols
+
+    def row_start(self, parent_position: int) -> int:
+        return parent_position * self.nnz_cols
+
+    def position_to_coordinate(self, parent_position: int, position: int) -> int:
+        self._require_data()
+        return int(self.indices[parent_position * self.nnz_cols + position])
+
+    def coordinate_to_position(self, parent_position: int, coordinate: int) -> int:
+        self._require_data()
+        row = self.indices[
+            parent_position * self.nnz_cols : (parent_position + 1) * self.nnz_cols
+        ]
+        hit = np.searchsorted(row, coordinate)
+        if hit < len(row) and row[hit] == coordinate:
+            return int(hit)
+        return -1
+
+    def _require_data(self) -> None:
+        if self.indices is None:
+            raise ValueError(f"axis {self.name!r} has no indices array bound")
+
+
+class SparseVariableAxis(Axis):
+    """A sparse axis with a variable number of non-zeros per parent row (CSR)."""
+
+    is_dense = False
+    is_fixed = False
+
+    def __init__(
+        self,
+        name: str,
+        parent: Axis,
+        length: int,
+        nnz: int,
+        indptr: Optional[np.ndarray] = None,
+        indices: Optional[np.ndarray] = None,
+        idtype: str = "int32",
+    ):
+        super().__init__(name, length, idtype)
+        self.parent = parent
+        self.nnz = int(nnz)
+        self.indptr = None if indptr is None else np.asarray(indptr, dtype=np.int64)
+        self.indices = None if indices is None else np.asarray(indices, dtype=np.int64)
+        _validate_indptr(self.indptr, self.name)
+        if self.indptr is not None and self.indices is not None:
+            if int(self.indptr[-1]) != len(self.indices):
+                raise ValueError(
+                    f"axis {name!r}: indptr[-1]={int(self.indptr[-1])} does not match "
+                    f"len(indices)={len(self.indices)}"
+                )
+
+    def nnz_total(self) -> int:
+        return self.nnz
+
+    def row_extent(self, parent_position: int) -> int:
+        self._require_data()
+        return int(self.indptr[parent_position + 1] - self.indptr[parent_position])
+
+    def row_start(self, parent_position: int) -> int:
+        self._require_data()
+        return int(self.indptr[parent_position])
+
+    def position_to_coordinate(self, parent_position: int, position: int) -> int:
+        self._require_data()
+        return int(self.indices[self.indptr[parent_position] + position])
+
+    def coordinate_to_position(self, parent_position: int, coordinate: int) -> int:
+        self._require_data()
+        start = int(self.indptr[parent_position])
+        end = int(self.indptr[parent_position + 1])
+        row = self.indices[start:end]
+        hit = np.searchsorted(row, coordinate)
+        if hit < len(row) and row[hit] == coordinate:
+            return int(hit)
+        return -1
+
+    def _require_data(self) -> None:
+        if self.indptr is None or self.indices is None:
+            raise ValueError(f"axis {self.name!r} has no indptr/indices arrays bound")
+
+
+def _validate_indptr(indptr: Optional[np.ndarray], name: str) -> None:
+    if indptr is None:
+        return
+    if indptr.ndim != 1 or len(indptr) == 0:
+        raise ValueError(f"axis {name!r}: indptr must be a non-empty 1-D array")
+    if int(indptr[0]) != 0:
+        raise ValueError(f"axis {name!r}: indptr must start at 0")
+    if np.any(np.diff(indptr) < 0):
+        raise ValueError(f"axis {name!r}: indptr must be non-decreasing")
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors mirroring the paper's scripting API
+# ---------------------------------------------------------------------------
+
+def dense_fixed(name: str, length: int, idtype: str = "int32") -> DenseFixedAxis:
+    """Create a dense-fixed axis (``T.dense_fixed`` in the paper)."""
+    return DenseFixedAxis(name, length, idtype)
+
+
+def dense_variable(
+    name: str,
+    parent: Axis,
+    length: int,
+    nnz: int,
+    indptr: Optional[np.ndarray] = None,
+    idtype: str = "int32",
+) -> DenseVariableAxis:
+    """Create a dense-variable (ragged) axis."""
+    return DenseVariableAxis(name, parent, length, nnz, indptr, idtype)
+
+
+def sparse_fixed(
+    name: str,
+    parent: Axis,
+    length: int,
+    nnz_cols: int,
+    indices: Optional[np.ndarray] = None,
+    idtype: str = "int32",
+) -> SparseFixedAxis:
+    """Create a sparse-fixed axis (ELL-style)."""
+    return SparseFixedAxis(name, parent, length, nnz_cols, indices, idtype)
+
+
+def sparse_variable(
+    name: str,
+    parent: Axis,
+    length: int,
+    nnz: int,
+    indptr: Optional[np.ndarray] = None,
+    indices: Optional[np.ndarray] = None,
+    idtype: str = "int32",
+) -> SparseVariableAxis:
+    """Create a sparse-variable axis (CSR-style)."""
+    return SparseVariableAxis(name, parent, length, nnz, indptr, indices, idtype)

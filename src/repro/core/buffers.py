@@ -1,0 +1,199 @@
+"""Sparse buffers: value storage decoupled from structural (axis) data.
+
+A :class:`SparseBuffer` is described by an ordered list of axes (its format
+specification) plus a value dtype.  The auxiliary arrays (``indptr`` /
+``indices``) live on the axes, so two buffers that share a sparse layout also
+share auxiliary data — exactly the decoupled storage shown in Figure 4 of the
+paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .axes import Axis, DenseFixedAxis
+from .expr import BufferLoad, Expr, wrap
+
+
+class SparseBuffer:
+    """A multi-dimensional buffer whose dimensions are SparseTIR axes."""
+
+    def __init__(
+        self,
+        name: str,
+        axes: Sequence[Axis],
+        dtype: str = "float32",
+        scope: str = "global",
+        data: Optional[np.ndarray] = None,
+    ):
+        if not axes:
+            raise ValueError(f"buffer {name!r} must have at least one axis")
+        self.name = name
+        self.axes = tuple(axes)
+        self.dtype = dtype
+        self.scope = scope
+        self.data = data
+
+    # -- IR construction sugar ----------------------------------------------
+    def __getitem__(self, indices: Any) -> BufferLoad:
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        if len(indices) != len(self.axes):
+            raise ValueError(
+                f"buffer {self.name!r} has {len(self.axes)} axes but got "
+                f"{len(indices)} indices"
+            )
+        return BufferLoad(self, [wrap(i) for i in indices])
+
+    # -- storage ---------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.axes)
+
+    def flat_size(self) -> int:
+        """Total number of stored elements after flattening (equations 6-8)."""
+        return _tree_nnz(self.axes)
+
+    def shape_dense(self) -> Tuple[int, ...]:
+        """The logical (uncompressed, coordinate-space) shape of the buffer."""
+        return tuple(axis.length for axis in self.axes)
+
+    def allocate(self, fill: float = 0.0) -> np.ndarray:
+        """Allocate flat backing storage for the buffer and return it."""
+        self.data = np.full(self.flat_size(), fill, dtype=_np_dtype(self.dtype))
+        return self.data
+
+    def bind(self, data: np.ndarray) -> "SparseBuffer":
+        """Bind a flat value array to this buffer (checked for size)."""
+        array = np.asarray(data, dtype=_np_dtype(self.dtype)).reshape(-1)
+        expected = self.flat_size()
+        if array.size != expected:
+            raise ValueError(
+                f"buffer {self.name!r} expects {expected} values, got {array.size}"
+            )
+        self.data = array
+        return self
+
+    def nbytes(self) -> int:
+        """Size of the value storage in bytes."""
+        return self.flat_size() * dtype_bytes(self.dtype)
+
+    def is_dense(self) -> bool:
+        return all(isinstance(axis, DenseFixedAxis) for axis in self.axes)
+
+    def __repr__(self) -> str:
+        axes = ", ".join(axis.name for axis in self.axes)
+        return f"SparseBuffer({self.name!r}, [{axes}], {self.dtype!r}, scope={self.scope!r})"
+
+
+class FlatBuffer:
+    """A one-dimensional buffer produced by sparse buffer lowering (stage III)."""
+
+    def __init__(self, name: str, size: int, dtype: str = "float32", scope: str = "global"):
+        self.name = name
+        self.size = int(size)
+        self.dtype = dtype
+        self.scope = scope
+
+    def __getitem__(self, index: Any) -> BufferLoad:
+        if isinstance(index, tuple):
+            if len(index) != 1:
+                raise ValueError(f"flat buffer {self.name!r} takes a single index")
+            index = index[0]
+        return BufferLoad(self, [wrap(index)])
+
+    def nbytes(self) -> int:
+        return self.size * dtype_bytes(self.dtype)
+
+    def __repr__(self) -> str:
+        return f"FlatBuffer({self.name!r}, size={self.size}, {self.dtype!r})"
+
+
+def match_sparse_buffer(
+    name: str, axes: Sequence[Axis], dtype: str = "float32", data: Optional[np.ndarray] = None
+) -> SparseBuffer:
+    """Create a sparse buffer bound to the given axes.
+
+    Mirrors ``T.match_sparse_buffer`` from the paper's scripting interface.
+    """
+    buffer = SparseBuffer(name, axes, dtype)
+    if data is not None:
+        buffer.bind(data)
+    return buffer
+
+
+def _tree_nnz(axes: Sequence[Axis]) -> int:
+    """Number of stored elements for a buffer composed of ``axes``.
+
+    Implements ``nnz(Tree(axis))`` of equations (6)-(8).  Fixed axes multiply
+    the running size by their per-row extent.  A variable axis replaces the
+    contribution of its ancestor chain (the preceding axes it depends on) by
+    its cumulative nnz count, because variable axes store one slot per actual
+    non-zero rather than a rectangular product.
+    """
+    size = 1
+    contributions: dict[int, int] = {}
+    axes = list(axes)
+    for axis in axes:
+        if axis.is_fixed:
+            factor = axis.length if axis.is_dense else axis.nnz_cols  # type: ignore[attr-defined]
+            contributions[id(axis)] = factor
+            size *= factor
+            continue
+        # Variable axis: divide out contributions of its ancestors that are
+        # part of this buffer, then multiply by the cumulative nnz.
+        ancestor_product = 1
+        for ancestor in axis.ancestors()[:-1]:
+            if id(ancestor) in contributions:
+                ancestor_product *= contributions[id(ancestor)]
+        nnz = axis.nnz_total()
+        if ancestor_product and size % ancestor_product == 0:
+            size = size // ancestor_product * nnz
+        else:
+            size = size * nnz // max(ancestor_product, 1)
+        contributions[id(axis)] = nnz // max(ancestor_product, 1) if ancestor_product else nnz
+        # Record the effective multiplicative contribution of the whole chain
+        # so deeper variable descendants can divide it out again.
+        contributions[id(axis)] = nnz
+        for ancestor in axis.ancestors()[:-1]:
+            contributions.pop(id(ancestor), None)
+    return size
+
+
+def dtype_bytes(dtype: str) -> int:
+    """Number of bytes per element for a dtype string."""
+    table = {
+        "float64": 8,
+        "float32": 4,
+        "float16": 2,
+        "bfloat16": 2,
+        "int64": 8,
+        "int32": 4,
+        "int16": 2,
+        "int8": 1,
+        "uint8": 1,
+        "bool": 1,
+    }
+    if dtype not in table:
+        raise ValueError(f"unknown dtype {dtype!r}")
+    return table[dtype]
+
+
+def _np_dtype(dtype: str) -> np.dtype:
+    mapping = {
+        "float64": np.float64,
+        "float32": np.float32,
+        "float16": np.float16,
+        "bfloat16": np.float32,  # numpy has no bfloat16; float32 preserves values
+        "int64": np.int64,
+        "int32": np.int32,
+        "int16": np.int16,
+        "int8": np.int8,
+        "uint8": np.uint8,
+        "bool": np.bool_,
+    }
+    if dtype not in mapping:
+        raise ValueError(f"unknown dtype {dtype!r}")
+    return np.dtype(mapping[dtype])

@@ -1,0 +1,7 @@
+"""Target-specific code generation (Section 3.5)."""
+
+from .build import Kernel, build
+from .cuda_like import emit_cuda_source
+from .fusion import horizontal_fuse, launch_groups
+
+__all__ = ["Kernel", "build", "emit_cuda_source", "horizontal_fuse", "launch_groups"]

@@ -1,0 +1,84 @@
+"""Building lowered programs into runnable kernels."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..program import STAGE_COORDINATE, STAGE_LOOP, STAGE_POSITION, PrimFunc
+from ..stage2.lowering import lower_sparse_iterations
+from ..stage3.buffer_lowering import lower_sparse_buffers
+from .cuda_like import emit_cuda_source
+from .fusion import launch_count
+
+
+class Kernel:
+    """A compiled sparse kernel.
+
+    A kernel bundles the fully lowered (stage-III) program with
+
+    * a NumPy interpreter (:meth:`run`) used for numerical verification,
+    * the pseudo-CUDA listing (:meth:`cuda_source`) produced by code
+      generation, and
+    * a hook for the GPU performance model (:meth:`profile`) which estimates
+      execution time and memory behaviour on a simulated device.
+    """
+
+    def __init__(self, func: PrimFunc, stage2: Optional[PrimFunc] = None):
+        if func.stage != STAGE_LOOP:
+            raise ValueError("Kernel requires a stage-III program; use build()")
+        self.func = func
+        self.stage2 = stage2
+        self._source: Optional[str] = None
+
+    # -- execution ------------------------------------------------------------
+    def run(self, bindings: Optional[Mapping[str, np.ndarray]] = None) -> Dict[str, np.ndarray]:
+        """Interpret the kernel and return every buffer's flat array."""
+        from ...runtime.executor import Executor
+
+        return Executor(self.func).run(bindings)
+
+    # -- code generation ---------------------------------------------------------
+    def cuda_source(self) -> str:
+        """The CUDA-like listing emitted for this kernel."""
+        if self._source is None:
+            self._source = emit_cuda_source(self.func)
+        return self._source
+
+    @property
+    def num_launches(self) -> int:
+        """Number of device kernel launches (1 after horizontal fusion)."""
+        return launch_count(self.func)
+
+    # -- performance ---------------------------------------------------------------
+    def profile(self, device, **kwargs):
+        """Estimate execution on a simulated device (see :mod:`repro.perf`)."""
+        from ...perf.gpu_model import profile_kernel
+
+        return profile_kernel(self, device, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"Kernel({self.func.name!r}, launches={self.num_launches})"
+
+
+def build(func: PrimFunc, horizontal_fusion: bool = True) -> Kernel:
+    """Lower a program (from any stage) to stage III and wrap it in a Kernel.
+
+    ``horizontal_fusion`` applies the backend pass of Section 3.5 so that the
+    per-format kernels produced by composable formats are launched as a
+    single grid.
+    """
+    stage2: Optional[PrimFunc] = None
+    if func.stage == STAGE_COORDINATE:
+        func = lower_sparse_iterations(func)
+    if func.stage == STAGE_POSITION:
+        stage2 = func
+        func = lower_sparse_buffers(func)
+    if func.stage != STAGE_LOOP:
+        raise ValueError(f"cannot build program at stage {func.stage}")
+    if horizontal_fusion:
+        from .fusion import horizontal_fuse
+
+        func = horizontal_fuse(func)
+    return Kernel(func, stage2=stage2)

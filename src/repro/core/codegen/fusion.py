@@ -1,0 +1,42 @@
+"""Horizontal fusion of generated kernels.
+
+Composable formats make SparseTIR emit one CUDA kernel per sub-format, which
+adds kernel-launch overhead.  The paper inserts a horizontal-fusion pass in
+the backend (Section 3.5) so that the independent kernels are launched as one
+grid.  Here kernels correspond to the top-level loop nests of the lowered
+program; horizontal fusion groups them into a single launch group and the
+performance model charges a single launch latency for the group.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..program import PrimFunc
+from ..stmt import Block, ForLoop, SeqStmt, Stmt
+
+
+def launch_groups(func: PrimFunc) -> List[Stmt]:
+    """Return the top-level statements of *func*, one per kernel launch."""
+    body = func.body
+    if isinstance(body, SeqStmt):
+        return list(body.stmts)
+    return [body]
+
+
+def horizontal_fuse(func: PrimFunc) -> PrimFunc:
+    """Mark the program so all top-level kernels are launched as one grid."""
+    fused = func.with_body(func.body)
+    fused.attrs["horizontal_fusion"] = True
+    return fused
+
+
+def is_horizontally_fused(func: PrimFunc) -> bool:
+    return bool(func.attrs.get("horizontal_fusion", False))
+
+
+def launch_count(func: PrimFunc) -> int:
+    """Number of kernel launches required to run the program."""
+    if is_horizontally_fused(func):
+        return 1
+    return len(launch_groups(func))

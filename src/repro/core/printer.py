@@ -1,0 +1,88 @@
+"""Readable text rendering of PrimFuncs at every stage."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .axes import Axis
+from .program import PrimFunc
+from .sparse_iteration import SparseIteration
+from .stmt import (
+    AssertStmt,
+    Block,
+    BufferStore,
+    Evaluate,
+    ForLoop,
+    IfThenElse,
+    LetStmt,
+    SeqStmt,
+    Stmt,
+)
+
+_INDENT = "    "
+
+
+def primfunc_script(func: PrimFunc) -> str:
+    """Render *func* as an indented, Python-like listing."""
+    lines: List[str] = [f"# PrimFunc {func.name} ({func.stage})"]
+    for axis in func.axes:
+        lines.append(_axis_decl(axis))
+    for buf in func.buffers:
+        axes = ", ".join(a.name for a in buf.axes)
+        lines.append(f"{buf.name} = match_sparse_buffer([{axes}], {buf.dtype!r})")
+    for buf in func.aux_buffers:
+        axes = ", ".join(a.name for a in buf.axes)
+        lines.append(f"{buf.name} = match_sparse_buffer([{axes}], {buf.dtype!r})  # auxiliary")
+    lines.extend(_stmt_lines(func.body, 0))
+    return "\n".join(lines) + "\n"
+
+
+def _axis_decl(axis: Axis) -> str:
+    kind = ("dense" if axis.is_dense else "sparse") + "_" + ("fixed" if axis.is_fixed else "variable")
+    parent = "" if axis.parent is None else f", parent={axis.parent.name}"
+    return f"{axis.name} = {kind}(length={axis.length}{parent})"
+
+
+def _stmt_lines(stmt: Stmt, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, SeqStmt):
+        lines: List[str] = []
+        for s in stmt.stmts:
+            lines.extend(_stmt_lines(s, depth))
+        return lines
+    if isinstance(stmt, SparseIteration):
+        names = ", ".join(item.name for item in stmt.axes)
+        lines = [f"{pad}with sp_iter([{names}], {stmt.kinds!r}, {stmt.name!r}):"]
+        if stmt.init is not None:
+            lines.append(f"{pad}{_INDENT}with init():")
+            lines.extend(_stmt_lines(stmt.init, depth + 2))
+        lines.extend(_stmt_lines(stmt.body, depth + 1))
+        return lines
+    if isinstance(stmt, ForLoop):
+        header = f"{pad}for {stmt.loop_var!r} in range({stmt.start!r}, {stmt.start!r} + {stmt.extent!r})"
+        if stmt.kind != "serial":
+            header += f"  # {stmt.kind}" + (f" {stmt.thread_tag}" if stmt.thread_tag else "")
+        return [header + ":"] + _stmt_lines(stmt.body, depth + 1)
+    if isinstance(stmt, Block):
+        lines = [f"{pad}with block({stmt.name!r}):"]
+        if stmt.annotations:
+            lines.append(f"{pad}{_INDENT}# annotations: {stmt.annotations}")
+        if stmt.init is not None:
+            lines.append(f"{pad}{_INDENT}with init():")
+            lines.extend(_stmt_lines(stmt.init, depth + 2))
+        lines.extend(_stmt_lines(stmt.body, depth + 1))
+        return lines
+    if isinstance(stmt, IfThenElse):
+        lines = [f"{pad}if {stmt.condition!r}:"]
+        lines.extend(_stmt_lines(stmt.then_case, depth + 1))
+        if stmt.else_case is not None:
+            lines.append(f"{pad}else:")
+            lines.extend(_stmt_lines(stmt.else_case, depth + 1))
+        return lines
+    if isinstance(stmt, LetStmt):
+        return [f"{pad}{stmt.var!r} = {stmt.value!r}"] + _stmt_lines(stmt.body, depth)
+    if isinstance(stmt, AssertStmt):
+        return [f"{pad}assert {stmt.condition!r}  # {stmt.message}"] + _stmt_lines(stmt.body, depth)
+    if isinstance(stmt, (BufferStore, Evaluate)):
+        return [f"{pad}{stmt!r}"]
+    return [f"{pad}{stmt!r}"]

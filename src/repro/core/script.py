@@ -1,0 +1,188 @@
+"""Programming interface for building stage-I SparseTIR programs.
+
+The paper's front end is a round-trippable Python dialect (``@T.prim_func``).
+This reproduction provides an equivalent, explicit builder API::
+
+    from repro.core.script import ProgramBuilder
+
+    b = ProgramBuilder("spmm")
+    I = b.dense_fixed("I", m)
+    J = b.sparse_variable("J", parent=I, length=n, nnz=nnz)
+    J_ = b.dense_fixed("J_", n)
+    K = b.dense_fixed("K", feat_size)
+    A = b.match_sparse_buffer("A", [I, J])
+    B = b.match_sparse_buffer("B", [J_, K])
+    C = b.match_sparse_buffer("C", [I, K])
+    with b.sp_iter([I, J, K], "SRS", "spmm") as (i, j, k):
+        b.init(C[i, k], 0.0)
+        b.compute(C[i, k], C[i, k] + A[i, j] * B[j, k])
+    func = b.finish()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from . import axes as _axes
+from .axes import Axis
+from .buffers import SparseBuffer, match_sparse_buffer
+from .expr import BufferLoad, Expr, Var, wrap
+from .program import STAGE_COORDINATE, PrimFunc
+from .sparse_iteration import AxisOrGroup, FusedAxisGroup, SparseIteration, flatten_axes, fuse
+from .stmt import BufferStore, SeqStmt, Stmt
+
+
+class ProgramBuilder:
+    """Imperative builder assembling a stage-I :class:`PrimFunc`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._axes: List[Axis] = []
+        self._buffers: List[SparseBuffer] = []
+        self._iterations: List[SparseIteration] = []
+        self._current: Optional[_IterationFrame] = None
+        self._finished = False
+
+    # -- axes ------------------------------------------------------------------
+    def dense_fixed(self, name: str, length: int, idtype: str = "int32") -> Axis:
+        return self._register_axis(_axes.dense_fixed(name, length, idtype))
+
+    def dense_variable(
+        self,
+        name: str,
+        parent: Axis,
+        length: int,
+        nnz: int,
+        indptr: Optional[np.ndarray] = None,
+        idtype: str = "int32",
+    ) -> Axis:
+        return self._register_axis(
+            _axes.dense_variable(name, parent, length, nnz, indptr, idtype)
+        )
+
+    def sparse_fixed(
+        self,
+        name: str,
+        parent: Axis,
+        length: int,
+        nnz_cols: int,
+        indices: Optional[np.ndarray] = None,
+        idtype: str = "int32",
+    ) -> Axis:
+        return self._register_axis(
+            _axes.sparse_fixed(name, parent, length, nnz_cols, indices, idtype)
+        )
+
+    def sparse_variable(
+        self,
+        name: str,
+        parent: Axis,
+        length: int,
+        nnz: int,
+        indptr: Optional[np.ndarray] = None,
+        indices: Optional[np.ndarray] = None,
+        idtype: str = "int32",
+    ) -> Axis:
+        return self._register_axis(
+            _axes.sparse_variable(name, parent, length, nnz, indptr, indices, idtype)
+        )
+
+    def _register_axis(self, axis: Axis) -> Axis:
+        if any(existing.name == axis.name for existing in self._axes):
+            raise ValueError(f"duplicate axis name {axis.name!r}")
+        self._axes.append(axis)
+        return axis
+
+    # -- buffers ------------------------------------------------------------------
+    def match_sparse_buffer(
+        self,
+        name: str,
+        axes: Sequence[Axis],
+        dtype: str = "float32",
+        data: Optional[np.ndarray] = None,
+    ) -> SparseBuffer:
+        if any(existing.name == name for existing in self._buffers):
+            raise ValueError(f"duplicate buffer name {name!r}")
+        buffer = match_sparse_buffer(name, axes, dtype, data)
+        self._buffers.append(buffer)
+        return buffer
+
+    # Alias mirroring common usage in examples.
+    sparse_buffer = match_sparse_buffer
+
+    # -- sparse iterations -----------------------------------------------------
+    @contextmanager
+    def sp_iter(
+        self, axes: Sequence[AxisOrGroup], kinds: str, name: str
+    ) -> Iterator[Tuple[Var, ...]]:
+        """Open a sparse iteration; yields one iterator variable per axis."""
+        if self._current is not None:
+            raise RuntimeError("nested sp_iter contexts are not supported by the builder; "
+                               "build nested iterations explicitly with SparseIteration")
+        flat = flatten_axes(axes)
+        iter_vars = tuple(Var(axis.name.lower() + "_it", "int32") for axis in flat)
+        frame = _IterationFrame(name, tuple(axes), kinds, iter_vars)
+        self._current = frame
+        try:
+            yield iter_vars
+        finally:
+            self._current = None
+        if not frame.stores:
+            raise ValueError(f"sparse iteration {name!r} has an empty body")
+        body: Stmt = SeqStmt(frame.stores) if len(frame.stores) > 1 else frame.stores[0]
+        init: Optional[Stmt] = None
+        if frame.inits:
+            init = SeqStmt(frame.inits) if len(frame.inits) > 1 else frame.inits[0]
+        self._iterations.append(
+            SparseIteration(name, frame.axes, kinds, iter_vars, body, init=init)
+        )
+
+    def compute(self, target: BufferLoad, value: Union[Expr, float, int]) -> None:
+        """Emit ``target = value`` inside the current sparse iteration."""
+        frame = self._require_frame()
+        frame.stores.append(BufferStore(target.buffer, target.indices, wrap(value)))
+
+    def init(self, target: BufferLoad, value: Union[Expr, float, int]) -> None:
+        """Emit an initialisation statement (``with init():`` in the paper)."""
+        frame = self._require_frame()
+        frame.inits.append(BufferStore(target.buffer, target.indices, wrap(value)))
+
+    def _require_frame(self) -> "_IterationFrame":
+        if self._current is None:
+            raise RuntimeError("compute()/init() must be called inside a sp_iter context")
+        return self._current
+
+    # -- finish ------------------------------------------------------------------
+    def finish(self) -> PrimFunc:
+        """Produce the stage-I PrimFunc."""
+        if self._finished:
+            raise RuntimeError("finish() called twice on the same builder")
+        if not self._iterations:
+            raise ValueError(f"program {self.name!r} has no sparse iterations")
+        self._finished = True
+        body: Stmt = (
+            SeqStmt(self._iterations) if len(self._iterations) > 1 else self._iterations[0]
+        )
+        return PrimFunc(
+            self.name,
+            axes=self._axes,
+            buffers=self._buffers,
+            body=body,
+            stage=STAGE_COORDINATE,
+        )
+
+
+class _IterationFrame:
+    def __init__(self, name: str, axes: Tuple[AxisOrGroup, ...], kinds: str, iter_vars: Tuple[Var, ...]):
+        self.name = name
+        self.axes = axes
+        self.kinds = kinds
+        self.iter_vars = iter_vars
+        self.stores: List[BufferStore] = []
+        self.inits: List[BufferStore] = []
+
+
+__all__ = ["ProgramBuilder", "fuse"]

@@ -1,0 +1,6 @@
+"""Stage-I (coordinate space) transformations: schedules and format decomposition."""
+
+from .schedules import sparse_fuse, sparse_reorder
+from .format_rewrite import FormatRewriteRule, decompose_format
+
+__all__ = ["sparse_reorder", "sparse_fuse", "FormatRewriteRule", "decompose_format"]

@@ -1,0 +1,109 @@
+"""Stage-I schedule primitives: ``sparse_reorder`` and ``sparse_fuse``.
+
+Both are composable transformations (Section 3.2.2): they rewrite the
+coordinate-space program and keep it at stage I.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..axes import Axis
+from ..program import STAGE_COORDINATE, PrimFunc
+from ..sparse_iteration import (
+    AxisOrGroup,
+    FusedAxisGroup,
+    SparseIteration,
+    flatten_axes,
+)
+
+
+def sparse_reorder(func: PrimFunc, iteration_name: str, new_order: Sequence[Axis]) -> PrimFunc:
+    """Reorder the axes of a sparse iteration.
+
+    The new order must be a permutation of the existing axes and must keep
+    every axis after the ancestors it depends on (a sparse/variable axis can
+    only be iterated once its parent position is known).
+    """
+    _require_stage1(func)
+    iteration = func.sparse_iteration(iteration_name)
+    old_flat = list(iteration.flat_axes)
+    new_flat = flatten_axes(new_order)
+    if len(new_flat) != len(old_flat) or any(a not in old_flat for a in new_flat):
+        raise ValueError(
+            f"sparse_reorder: new order must be a permutation of the axes of "
+            f"{iteration_name!r}"
+        )
+    _check_dependencies(new_flat)
+
+    # Re-associate kinds and iterator variables with the permuted axes.
+    kind_of = {id(a): k for a, k in zip(old_flat, iteration.kinds)}
+    var_of = {id(a): v for a, v in zip(old_flat, iteration.iter_vars)}
+    new_kinds = "".join(kind_of[id(a)] for a in new_flat)
+    new_vars = tuple(var_of[id(a)] for a in new_flat)
+    new_iteration = SparseIteration(
+        iteration.name, tuple(new_order), new_kinds, new_vars, iteration.body,
+        init=iteration.init,
+    )
+    return func.replace_sparse_iteration(iteration, new_iteration)
+
+
+def sparse_fuse(func: PrimFunc, iteration_name: str, axes_to_fuse: Sequence[Axis]) -> PrimFunc:
+    """Fuse consecutive axes of a sparse iteration into a single loop.
+
+    After fusion, sparse iteration lowering emits one loop over the combined
+    non-zero space instead of a nested loop per axis — the SDDMM use case in
+    the paper.
+    """
+    _require_stage1(func)
+    if len(axes_to_fuse) < 2:
+        raise ValueError("sparse_fuse needs at least two axes")
+    iteration = func.sparse_iteration(iteration_name)
+    items: List[AxisOrGroup] = list(iteration.axes)
+    flat_targets = list(axes_to_fuse)
+
+    # The axes to fuse must appear as consecutive, un-fused items.
+    positions = []
+    for axis in flat_targets:
+        found = None
+        for idx, item in enumerate(items):
+            if item is axis:
+                found = idx
+                break
+        if found is None:
+            raise ValueError(
+                f"sparse_fuse: axis {axis.name!r} is not a top-level axis of "
+                f"{iteration_name!r} (already fused?)"
+            )
+        positions.append(found)
+    if positions != list(range(positions[0], positions[0] + len(positions))):
+        raise ValueError("sparse_fuse: axes must be consecutive in the iteration order")
+
+    group = FusedAxisGroup(flat_targets)
+    new_items = items[: positions[0]] + [group] + items[positions[-1] + 1 :]
+    new_iteration = SparseIteration(
+        iteration.name,
+        tuple(new_items),
+        iteration.kinds,
+        iteration.iter_vars,
+        iteration.body,
+        init=iteration.init,
+    )
+    return func.replace_sparse_iteration(iteration, new_iteration)
+
+
+def _check_dependencies(order: Sequence[Axis]) -> None:
+    seen = set()
+    for axis in order:
+        parent = axis.parent
+        if parent is not None and any(parent is a for a in order) and id(parent) not in seen:
+            raise ValueError(
+                f"sparse_reorder: axis {axis.name!r} depends on {parent.name!r}, "
+                f"which must come first"
+            )
+        seen.add(id(axis))
+
+
+def _require_stage1(func: PrimFunc) -> None:
+    if func.stage != STAGE_COORDINATE:
+        raise ValueError(f"stage-I schedule applied to a {func.stage} program")

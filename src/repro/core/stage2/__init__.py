@@ -1,0 +1,6 @@
+"""Stage-II (position space) IR: sparse iteration lowering and loop-level schedules."""
+
+from .lowering import lower_sparse_iterations
+from .schedule import Schedule
+
+__all__ = ["lower_sparse_iterations", "Schedule"]

@@ -1,0 +1,5 @@
+"""Stage-III (loop-level) IR: sparse buffer lowering to flat storage."""
+
+from .buffer_lowering import lower_sparse_buffers
+
+__all__ = ["lower_sparse_buffers"]

@@ -1,0 +1,329 @@
+"""Statement nodes of the SparseTIR-style intermediate representation.
+
+Stage I programs contain :class:`SparseIteration` nodes (defined in
+``sparse_iteration.py``); stage II and III programs contain :class:`ForLoop`
+and :class:`Block` nodes.  All of them derive from :class:`Stmt` and live in
+the same tree type so that composable transformations can be expressed as
+tree-to-tree rewrites.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .expr import BufferLoad, Expr, Var, substitute, wrap
+
+
+class Stmt:
+    """Base class of every statement node."""
+
+
+class BufferStore(Stmt):
+    """Store ``value`` into ``buffer[indices]``."""
+
+    def __init__(self, buffer: Any, indices: Sequence[Expr], value: Expr):
+        self.buffer = buffer
+        self.indices = tuple(wrap(i) for i in indices)
+        self.value = wrap(value)
+
+    def __repr__(self) -> str:
+        idx = ", ".join(repr(i) for i in self.indices)
+        return f"{self.buffer.name}[{idx}] = {self.value!r}"
+
+
+class Evaluate(Stmt):
+    """Evaluate an expression for its side effect (intrinsic calls)."""
+
+    def __init__(self, value: Expr):
+        self.value = wrap(value)
+
+    def __repr__(self) -> str:
+        return f"eval({self.value!r})"
+
+
+class SeqStmt(Stmt):
+    """A sequence of statements executed in order."""
+
+    def __init__(self, stmts: Sequence[Stmt]):
+        flat: List[Stmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, SeqStmt):
+                flat.extend(stmt.stmts)
+            else:
+                flat.append(stmt)
+        self.stmts = tuple(flat)
+
+    def __repr__(self) -> str:
+        return "; ".join(repr(s) for s in self.stmts)
+
+
+class IfThenElse(Stmt):
+    """Conditional statement."""
+
+    def __init__(self, condition: Expr, then_case: Stmt, else_case: Optional[Stmt] = None):
+        self.condition = wrap(condition)
+        self.then_case = then_case
+        self.else_case = else_case
+
+    def __repr__(self) -> str:
+        text = f"if {self.condition!r}: {self.then_case!r}"
+        if self.else_case is not None:
+            text += f" else: {self.else_case!r}"
+        return text
+
+
+class LetStmt(Stmt):
+    """Bind ``var`` to ``value`` inside ``body``."""
+
+    def __init__(self, var: Var, value: Expr, body: Stmt):
+        self.var = var
+        self.value = wrap(value)
+        self.body = body
+
+    def __repr__(self) -> str:
+        return f"let {self.var!r} = {self.value!r} in {self.body!r}"
+
+
+class AssertStmt(Stmt):
+    """Runtime assertion carried through lowering (buffer domain hints)."""
+
+    def __init__(self, condition: Expr, message: str, body: Stmt):
+        self.condition = wrap(condition)
+        self.message = message
+        self.body = body
+
+    def __repr__(self) -> str:
+        return f"assert {self.condition!r}, {self.message!r}; {self.body!r}"
+
+
+# Loop kinds used by stage II / III schedules.
+LOOP_SERIAL = "serial"
+LOOP_PARALLEL = "parallel"
+LOOP_VECTORIZED = "vectorized"
+LOOP_UNROLLED = "unrolled"
+LOOP_THREAD_BINDING = "thread_binding"
+
+THREAD_TAGS = (
+    "blockIdx.x",
+    "blockIdx.y",
+    "blockIdx.z",
+    "threadIdx.x",
+    "threadIdx.y",
+    "threadIdx.z",
+    "vthread",
+)
+
+
+class ForLoop(Stmt):
+    """A loop over ``[start, start + extent)`` in position space."""
+
+    def __init__(
+        self,
+        loop_var: Var,
+        start: Expr,
+        extent: Expr,
+        body: Stmt,
+        kind: str = LOOP_SERIAL,
+        thread_tag: Optional[str] = None,
+        annotations: Optional[Dict[str, Any]] = None,
+    ):
+        self.loop_var = loop_var
+        self.start = wrap(start)
+        self.extent = wrap(extent)
+        self.body = body
+        self.kind = kind
+        self.thread_tag = thread_tag
+        self.annotations = dict(annotations or {})
+
+    def with_body(self, body: Stmt) -> "ForLoop":
+        return ForLoop(
+            self.loop_var,
+            self.start,
+            self.extent,
+            body,
+            kind=self.kind,
+            thread_tag=self.thread_tag,
+            annotations=dict(self.annotations),
+        )
+
+    def __repr__(self) -> str:
+        head = f"for {self.loop_var!r} in range({self.start!r}, {self.start!r} + {self.extent!r})"
+        if self.kind != LOOP_SERIAL:
+            tag = f" [{self.kind}"
+            if self.thread_tag:
+                tag += f":{self.thread_tag}"
+            tag += "]"
+            head += tag
+        return head + f": {self.body!r}"
+
+
+class BufferRegion:
+    """A (buffer, per-dimension index expression) pair used by blocks."""
+
+    def __init__(self, buffer: Any, indices: Sequence[Expr]):
+        self.buffer = buffer
+        self.indices = tuple(wrap(i) for i in indices)
+
+    def __repr__(self) -> str:
+        idx = ", ".join(repr(i) for i in self.indices)
+        return f"{self.buffer.name}[{idx}]"
+
+
+class Block(Stmt):
+    """A TensorIR-style block: an isolation boundary for scheduling.
+
+    Blocks carry the read/write regions computed by the region-analysis step
+    of sparse iteration lowering (Section 3.3.1 of the paper), an optional
+    reduction-init statement, and free-form annotations used by stage II
+    schedules (cache stages, tensorization, rfactor, ...).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        body: Stmt,
+        init: Optional[Stmt] = None,
+        reads: Optional[Sequence[BufferRegion]] = None,
+        writes: Optional[Sequence[BufferRegion]] = None,
+        annotations: Optional[Dict[str, Any]] = None,
+        iter_vars: Optional[Sequence[Var]] = None,
+        iter_kinds: Optional[Sequence[str]] = None,
+    ):
+        self.name = name
+        self.body = body
+        self.init = init
+        self.reads = list(reads or [])
+        self.writes = list(writes or [])
+        self.annotations = dict(annotations or {})
+        self.iter_vars = list(iter_vars or [])
+        self.iter_kinds = list(iter_kinds or [])
+
+    def with_body(self, body: Stmt) -> "Block":
+        block = Block(
+            self.name,
+            body,
+            init=self.init,
+            reads=list(self.reads),
+            writes=list(self.writes),
+            annotations=dict(self.annotations),
+            iter_vars=list(self.iter_vars),
+            iter_kinds=list(self.iter_kinds),
+        )
+        return block
+
+    def __repr__(self) -> str:
+        return f"block({self.name!r}): {self.body!r}"
+
+
+# ---------------------------------------------------------------------------
+# Tree helpers
+# ---------------------------------------------------------------------------
+
+def child_stmts(stmt: Stmt) -> Tuple[Stmt, ...]:
+    """Return the direct child statements of *stmt*."""
+    if isinstance(stmt, SeqStmt):
+        return stmt.stmts
+    if isinstance(stmt, ForLoop):
+        return (stmt.body,)
+    if isinstance(stmt, Block):
+        return (stmt.body,) if stmt.init is None else (stmt.init, stmt.body)
+    if isinstance(stmt, IfThenElse):
+        return (stmt.then_case,) if stmt.else_case is None else (stmt.then_case, stmt.else_case)
+    if isinstance(stmt, (LetStmt, AssertStmt)):
+        return (stmt.body,)
+    return ()
+
+
+def post_order_stmts(stmt: Stmt) -> Iterable[Stmt]:
+    """Yield every statement in the tree, children before parents."""
+    for child in child_stmts(stmt):
+        yield from post_order_stmts(child)
+    yield stmt
+
+
+def find_blocks(stmt: Stmt) -> List[Block]:
+    """Collect every :class:`Block` in the tree, in post order."""
+    return [s for s in post_order_stmts(stmt) if isinstance(s, Block)]
+
+
+def find_loops(stmt: Stmt) -> List[ForLoop]:
+    """Collect every :class:`ForLoop` in the tree, in post order."""
+    return [s for s in post_order_stmts(stmt) if isinstance(s, ForLoop)]
+
+
+def substitute_stmt(stmt: Stmt, mapping: Mapping[Var, Expr]) -> Stmt:
+    """Substitute variables inside a statement tree."""
+    if isinstance(stmt, BufferStore):
+        return BufferStore(
+            stmt.buffer,
+            [substitute(i, mapping) for i in stmt.indices],
+            substitute(stmt.value, mapping),
+        )
+    if isinstance(stmt, Evaluate):
+        return Evaluate(substitute(stmt.value, mapping))
+    if isinstance(stmt, SeqStmt):
+        return SeqStmt([substitute_stmt(s, mapping) for s in stmt.stmts])
+    if isinstance(stmt, IfThenElse):
+        return IfThenElse(
+            substitute(stmt.condition, mapping),
+            substitute_stmt(stmt.then_case, mapping),
+            None if stmt.else_case is None else substitute_stmt(stmt.else_case, mapping),
+        )
+    if isinstance(stmt, LetStmt):
+        return LetStmt(stmt.var, substitute(stmt.value, mapping), substitute_stmt(stmt.body, mapping))
+    if isinstance(stmt, AssertStmt):
+        return AssertStmt(
+            substitute(stmt.condition, mapping), stmt.message, substitute_stmt(stmt.body, mapping)
+        )
+    if isinstance(stmt, ForLoop):
+        return ForLoop(
+            stmt.loop_var,
+            substitute(stmt.start, mapping),
+            substitute(stmt.extent, mapping),
+            substitute_stmt(stmt.body, mapping),
+            kind=stmt.kind,
+            thread_tag=stmt.thread_tag,
+            annotations=dict(stmt.annotations),
+        )
+    if isinstance(stmt, Block):
+        new = stmt.with_body(substitute_stmt(stmt.body, mapping))
+        if stmt.init is not None:
+            new.init = substitute_stmt(stmt.init, mapping)
+        new.reads = [BufferRegion(r.buffer, [substitute(i, mapping) for i in r.indices]) for r in stmt.reads]
+        new.writes = [BufferRegion(r.buffer, [substitute(i, mapping) for i in r.indices]) for r in stmt.writes]
+        return new
+    # SparseIteration handles its own substitution; anything else is a leaf.
+    return stmt
+
+
+def collect_buffer_loads(node: Any) -> List[BufferLoad]:
+    """Collect every :class:`BufferLoad` reachable from a statement tree."""
+    from .expr import post_order
+
+    loads: List[BufferLoad] = []
+
+    def visit_expr(expr: Expr) -> None:
+        for sub in post_order(expr):
+            if isinstance(sub, BufferLoad):
+                loads.append(sub)
+
+    for stmt in post_order_stmts(node):
+        if isinstance(stmt, BufferStore):
+            visit_expr(stmt.value)
+            for i in stmt.indices:
+                visit_expr(i)
+        elif isinstance(stmt, Evaluate):
+            visit_expr(stmt.value)
+        elif isinstance(stmt, IfThenElse):
+            visit_expr(stmt.condition)
+        elif isinstance(stmt, (LetStmt, AssertStmt)):
+            visit_expr(stmt.value if isinstance(stmt, LetStmt) else stmt.condition)
+        elif isinstance(stmt, ForLoop):
+            visit_expr(stmt.start)
+            visit_expr(stmt.extent)
+    return loads
+
+
+def collect_buffer_stores(node: Stmt) -> List[BufferStore]:
+    """Collect every :class:`BufferStore` in a statement tree."""
+    return [s for s in post_order_stmts(node) if isinstance(s, BufferStore)]

@@ -1,0 +1,37 @@
+"""Sparse matrix formats and conversions used by the SparseTIR reproduction.
+
+Every format class stores its compressed arrays explicitly (NumPy), can
+convert to/from SciPy CSR, exposes padding/occupancy statistics, and can
+produce the SparseTIR axes that describe it so that programs over the format
+can be built and lowered through the compilation pipeline.
+"""
+
+from .csr import CSRMatrix
+from .csc import CSCMatrix
+from .coo import COOMatrix
+from .bsr import BSRMatrix
+from .ell import ELLMatrix
+from .dia import DIAMatrix
+from .ragged import RaggedTensor
+from .csf import CSFTensor
+from .hyb import HybFormat, HybBucket
+from .dbsr import DBSRMatrix
+from .srbcrs import SRBCRSMatrix
+from .padding import padding_ratio_hyb, padding_ratio_percent
+
+__all__ = [
+    "CSRMatrix",
+    "CSCMatrix",
+    "COOMatrix",
+    "BSRMatrix",
+    "ELLMatrix",
+    "DIAMatrix",
+    "RaggedTensor",
+    "CSFTensor",
+    "HybFormat",
+    "HybBucket",
+    "DBSRMatrix",
+    "SRBCRSMatrix",
+    "padding_ratio_hyb",
+    "padding_ratio_percent",
+]

@@ -1,0 +1,99 @@
+"""Format rewrite rules and conversion helpers (Appendix A of the paper).
+
+The two classic rewrite rules of the paper — BSR(block_size) and
+ELL(nnz_cols) — are provided as factories that produce concrete
+:class:`~repro.core.stage1.format_rewrite.FormatRewriteRule` objects bound to
+actual matrices, so that decomposed programs can be lowered *and executed*.
+The index-inference step the paper delegates to SciPy happens inside the
+format classes (``BSRMatrix.from_csr`` / ``ELLMatrix.from_csr``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.stage1.format_rewrite import FormatRewriteRule
+from .bsr import BSRMatrix
+from .csr import CSRMatrix
+from .ell import ELLMatrix
+
+
+def bsr_rewrite_rule(
+    bsr: BSRMatrix,
+    buffer_name: str = "A",
+    original_axes: Tuple[str, str] = ("I", "J"),
+    name: Optional[str] = None,
+) -> FormatRewriteRule:
+    """The ``BSR(block_size)`` rewrite rule of Appendix A, bound to *bsr*.
+
+    The affine maps are exactly the appendix's lambdas:
+    ``f(i, j) = (i // b, j // b, i % b, j % b)`` and
+    ``f^-1(io, jo, ii, ji) = (io * b + ii, jo * b + ji)``.
+    """
+    block = bsr.block_size
+    rule_name = name or f"bsr_{block}"
+    io_axis, jo_axis, ii_axis, ji_axis = bsr.to_axes(prefix=f"{rule_name}_")
+    return FormatRewriteRule(
+        rule_name,
+        [io_axis, jo_axis, ii_axis, ji_axis],
+        buffer_name,
+        list(original_axes),
+        {
+            original_axes[0]: [io_axis.name, ii_axis.name],
+            original_axes[1]: [jo_axis.name, ji_axis.name],
+        },
+        idx_map=lambda i, j: (i // block, j // block, i % block, j % block),
+        inv_idx_map=lambda io, jo, ii, ji: (io * block + ii, jo * block + ji),
+    )
+
+
+def ell_rewrite_rule(
+    ell: ELLMatrix,
+    buffer_name: str = "A",
+    original_axes: Tuple[str, str] = ("I", "J"),
+    name: Optional[str] = None,
+) -> FormatRewriteRule:
+    """The ``ELL(nnz_cols)`` rewrite rule of Appendix A, bound to *ell*."""
+    rule_name = name or f"ell_{ell.nnz_cols}"
+    i_axis, j_axis = ell.to_axes(prefix=f"{rule_name}_")
+    return FormatRewriteRule(
+        rule_name,
+        [i_axis, j_axis],
+        buffer_name,
+        list(original_axes),
+        {original_axes[0]: [i_axis.name], original_axes[1]: [j_axis.name]},
+        idx_map=lambda i, j: (i, j),
+        inv_idx_map=lambda i2, j2: (i2, j2),
+    )
+
+
+def split_csr_for_composition(
+    csr: CSRMatrix, block_size: int, ell_width: int
+) -> Tuple[BSRMatrix, ELLMatrix, CSRMatrix, CSRMatrix]:
+    """Split a CSR matrix into a block-friendly part and a remainder.
+
+    Rows whose length exceeds ``ell_width`` go to the BSR part; the split is
+    made at block-row granularity (a block row containing any heavy row is
+    assigned entirely to the BSR part) so that the two parts never overlap —
+    every non-zero lives in exactly one of the composed formats, which is
+    what makes the decomposed computation of Figure 5 equal to the original.
+    Returns ``(bsr, ell, bsr_part_csr, ell_part_csr)``.
+    """
+    lengths = csr.row_lengths()
+    dense = csr.to_dense()
+    heavy_rows = lengths > ell_width
+    heavy_block_rows = heavy_rows.reshape(-1, block_size).any(axis=1) if csr.rows % block_size == 0 else None
+    if heavy_block_rows is None:
+        raise ValueError("split_csr_for_composition requires rows divisible by block_size")
+    heavy_mask = np.repeat(heavy_block_rows, block_size)
+    heavy = np.zeros_like(dense)
+    light = np.zeros_like(dense)
+    heavy[heavy_mask] = dense[heavy_mask]
+    light[~heavy_mask] = dense[~heavy_mask]
+    heavy_csr = CSRMatrix.from_dense(heavy)
+    light_csr = CSRMatrix.from_dense(light)
+    bsr = BSRMatrix.from_csr(heavy_csr, block_size)
+    ell = ELLMatrix.from_csr(light_csr, max(ell_width, int(light_csr.max_row_length()))) if light_csr.nnz else ELLMatrix.from_csr(light_csr, ell_width)
+    return bsr, ell, heavy_csr, light_csr

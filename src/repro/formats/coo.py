@@ -1,0 +1,60 @@
+"""Coordinate (COO) matrices."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .csr import CSRMatrix
+
+
+class COOMatrix:
+    """A COO matrix: parallel row/column/value arrays sorted by (row, col)."""
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        row: np.ndarray,
+        col: np.ndarray,
+        data: Optional[np.ndarray] = None,
+    ):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.row = np.asarray(row, dtype=np.int64)
+        self.col = np.asarray(col, dtype=np.int64)
+        if self.row.shape != self.col.shape:
+            raise ValueError("row and col arrays must have the same length")
+        if data is None:
+            data = np.ones(len(self.row), dtype=np.float32)
+        self.data = np.asarray(data, dtype=np.float32)
+        order = np.lexsort((self.col, self.row))
+        self.row, self.col, self.data = self.row[order], self.col[order], self.data[order]
+
+    @classmethod
+    def from_scipy(cls, matrix: sp.spmatrix) -> "COOMatrix":
+        coo = sp.coo_matrix(matrix)
+        return cls(coo.shape, coo.row, coo.col, coo.data)
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix) -> "COOMatrix":
+        return cls.from_scipy(csr.to_scipy())
+
+    @property
+    def nnz(self) -> int:
+        return int(len(self.row))
+
+    def to_scipy(self) -> sp.coo_matrix:
+        return sp.coo_matrix((self.data, (self.row, self.col)), shape=self.shape)
+
+    def to_dense(self) -> np.ndarray:
+        return np.asarray(self.to_scipy().todense(), dtype=np.float32)
+
+    def to_csr(self) -> CSRMatrix:
+        return CSRMatrix.from_scipy(self.to_scipy().tocsr())
+
+    def nbytes(self, index_bytes: int = 4, value_bytes: int = 4) -> int:
+        return self.nnz * (2 * index_bytes + value_bytes)
+
+    def __repr__(self) -> str:
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,68 @@
+"""Compressed Sparse Column (CSC) matrices."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.axes import DenseFixedAxis, SparseVariableAxis
+from .csr import CSRMatrix
+
+
+class CSCMatrix:
+    """A CSC matrix: CSR of the transpose, kept explicitly for clarity."""
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: Optional[np.ndarray] = None,
+    ):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        if len(self.indptr) != self.shape[1] + 1:
+            raise ValueError("indptr length must be cols + 1")
+        if data is None:
+            data = np.ones(len(self.indices), dtype=np.float32)
+        self.data = np.asarray(data, dtype=np.float32)
+
+    @classmethod
+    def from_scipy(cls, matrix: sp.spmatrix) -> "CSCMatrix":
+        csc = sp.csc_matrix(matrix)
+        csc.sort_indices()
+        return cls(csc.shape, csc.indptr, csc.indices, csc.data)
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix) -> "CSCMatrix":
+        return cls.from_scipy(csr.to_scipy())
+
+    @property
+    def nnz(self) -> int:
+        return int(len(self.indices))
+
+    def col_lengths(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def to_scipy(self) -> sp.csc_matrix:
+        return sp.csc_matrix((self.data, self.indices, self.indptr), shape=self.shape)
+
+    def to_dense(self) -> np.ndarray:
+        return np.asarray(self.to_scipy().todense(), dtype=np.float32)
+
+    def to_csr(self) -> CSRMatrix:
+        return CSRMatrix.from_scipy(self.to_scipy())
+
+    def to_axes(self, prefix: str = "") -> Tuple[DenseFixedAxis, SparseVariableAxis]:
+        """Axes (J, I): the column axis is dense-fixed, the row axis sparse."""
+        j_axis = DenseFixedAxis(f"{prefix}Jc", self.shape[1])
+        i_axis = SparseVariableAxis(
+            f"{prefix}Ic", j_axis, self.shape[0], self.nnz, indptr=self.indptr, indices=self.indices
+        )
+        return j_axis, i_axis
+
+    def __repr__(self) -> str:
+        return f"CSCMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,63 @@
+"""Compressed Sparse Fiber (CSF) tensors for 3-D sparse data.
+
+Used for the relational adjacency tensor ``A[r, i, j]`` of the RGMS operator
+(Section 4.4): the leading relation dimension is dense, and each relation's
+2-D slice is stored CSR-style.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+
+class CSFTensor:
+    """A 3-D tensor stored as one CSR matrix per slice of the leading mode."""
+
+    def __init__(self, shape: Tuple[int, int, int], slices: Sequence[Optional[CSRMatrix]]):
+        self.shape = (int(shape[0]), int(shape[1]), int(shape[2]))
+        if len(slices) != self.shape[0]:
+            raise ValueError(f"expected {self.shape[0]} slices, got {len(slices)}")
+        self.slices: List[Optional[CSRMatrix]] = list(slices)
+        for matrix in self.slices:
+            if matrix is not None and matrix.shape != (self.shape[1], self.shape[2]):
+                raise ValueError("all slices must share the trailing 2-D shape")
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSFTensor":
+        dense = np.asarray(dense)
+        if dense.ndim != 3:
+            raise ValueError("CSFTensor.from_dense expects a 3-D array")
+        slices = [CSRMatrix.from_dense(dense[r]) for r in range(dense.shape[0])]
+        return cls(dense.shape, slices)
+
+    @property
+    def num_slices(self) -> int:
+        return self.shape[0]
+
+    @property
+    def nnz(self) -> int:
+        return sum(matrix.nnz for matrix in self.slices if matrix is not None)
+
+    def slice_nnz(self) -> np.ndarray:
+        return np.array(
+            [0 if matrix is None else matrix.nnz for matrix in self.slices], dtype=np.int64
+        )
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float32)
+        for r, matrix in enumerate(self.slices):
+            if matrix is not None:
+                dense[r] = matrix.to_dense()
+        return dense
+
+    def nbytes(self, index_bytes: int = 4, value_bytes: int = 4) -> int:
+        return sum(
+            matrix.nbytes(index_bytes, value_bytes) for matrix in self.slices if matrix is not None
+        )
+
+    def __repr__(self) -> str:
+        return f"CSFTensor(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,139 @@
+"""Compressed Sparse Row (CSR) matrices."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.axes import DenseFixedAxis, SparseVariableAxis
+
+
+class CSRMatrix:
+    """A CSR matrix with explicit ``indptr``/``indices``/``data`` arrays."""
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: Optional[np.ndarray] = None,
+        dtype: str = "float32",
+    ):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        if len(self.indptr) != self.shape[0] + 1:
+            raise ValueError(
+                f"indptr length {len(self.indptr)} does not match {self.shape[0]} rows"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.size and (self.indices.min() < 0 or self.indices.max() >= self.shape[1]):
+            raise ValueError("column indices out of range")
+        self.dtype = dtype
+        if data is None:
+            data = np.ones(len(self.indices), dtype=np.float32)
+        self.data = np.asarray(data).astype(np.float32, copy=False)
+        if self.data.shape[0] != len(self.indices):
+            raise ValueError("data length must equal number of non-zeros")
+
+    # -- constructors ---------------------------------------------------------------
+    @classmethod
+    def from_scipy(cls, matrix: sp.spmatrix, dtype: str = "float32") -> "CSRMatrix":
+        csr = sp.csr_matrix(matrix)
+        csr.sort_indices()
+        return cls(csr.shape, csr.indptr, csr.indices, csr.data, dtype=dtype)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, dtype: str = "float32") -> "CSRMatrix":
+        return cls.from_scipy(sp.csr_matrix(np.asarray(dense)), dtype=dtype)
+
+    @classmethod
+    def random(
+        cls,
+        rows: int,
+        cols: int,
+        density: float,
+        seed: int = 0,
+        dtype: str = "float32",
+    ) -> "CSRMatrix":
+        """A uniformly random sparse matrix with the given density."""
+        rng = np.random.default_rng(seed)
+        matrix = sp.random(rows, cols, density=density, random_state=rng, format="csr",
+                           data_rvs=lambda size: rng.standard_normal(size).astype(np.float32))
+        return cls.from_scipy(matrix, dtype=dtype)
+
+    # -- basic properties -----------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(len(self.indices))
+
+    @property
+    def rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def density(self) -> float:
+        total = self.rows * self.cols
+        return self.nnz / total if total else 0.0
+
+    def row_lengths(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def max_row_length(self) -> int:
+        lengths = self.row_lengths()
+        return int(lengths.max()) if lengths.size else 0
+
+    def mean_row_length(self) -> float:
+        lengths = self.row_lengths()
+        return float(lengths.mean()) if lengths.size else 0.0
+
+    def nbytes(self, index_bytes: int = 4, value_bytes: int = 4) -> int:
+        return (len(self.indptr) + len(self.indices)) * index_bytes + self.nnz * value_bytes
+
+    # -- conversions -----------------------------------------------------------------
+    def to_scipy(self) -> sp.csr_matrix:
+        return sp.csr_matrix((self.data, self.indices, self.indptr), shape=self.shape)
+
+    def to_dense(self) -> np.ndarray:
+        return np.asarray(self.to_scipy().todense(), dtype=np.float32)
+
+    def transpose(self) -> "CSRMatrix":
+        return CSRMatrix.from_scipy(self.to_scipy().T.tocsr(), dtype=self.dtype)
+
+    def column_partition(self, num_parts: int) -> list:
+        """Split columns into ``num_parts`` contiguous partitions (for hyb)."""
+        if num_parts <= 0:
+            raise ValueError("num_parts must be positive")
+        width = (self.cols + num_parts - 1) // num_parts
+        parts = []
+        scipy_matrix = self.to_scipy()
+        for part in range(num_parts):
+            lo = part * width
+            hi = min((part + 1) * width, self.cols)
+            if lo >= hi:
+                sub = sp.csr_matrix((self.rows, 0), dtype=np.float32)
+            else:
+                sub = scipy_matrix[:, lo:hi].tocsr()
+            parts.append(CSRMatrix.from_scipy(sub, dtype=self.dtype) if sub.shape[1] else None)
+        return parts
+
+    # -- SparseTIR axes -----------------------------------------------------------------
+    def to_axes(self, prefix: str = "") -> Tuple[DenseFixedAxis, SparseVariableAxis]:
+        """Create the (I, J) SparseTIR axes describing this matrix."""
+        i_axis = DenseFixedAxis(f"{prefix}I", self.rows)
+        j_axis = SparseVariableAxis(
+            f"{prefix}J", i_axis, self.cols, self.nnz, indptr=self.indptr, indices=self.indices
+        )
+        return i_axis, j_axis
+
+    def __repr__(self) -> str:
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,105 @@
+"""Doubly-compressed BSR (DBSR), Section 4.3.2 (structured pruning).
+
+Block-pruned transformer weights contain many all-zero block rows; DBSR
+(inspired by DCSR) stores only the non-empty block rows, with an explicit
+``row_indices`` array mapping stored block rows back to their original block
+row, so kernels skip empty rows entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .bsr import BSRMatrix
+from .csr import CSRMatrix
+
+
+class DBSRMatrix:
+    """A BSR matrix that additionally compresses away empty block rows."""
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        block_size: int,
+        row_indices: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+    ):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.block_size = int(block_size)
+        self.row_indices = np.asarray(row_indices, dtype=np.int64)
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float32)
+        if len(self.indptr) != len(self.row_indices) + 1:
+            raise ValueError("indptr must have one entry per stored block row plus one")
+        if self.data.shape != (len(self.indices), self.block_size, self.block_size):
+            raise ValueError("DBSR data must have shape (nblocks, block_size, block_size)")
+
+    @classmethod
+    def from_bsr(cls, bsr: BSRMatrix) -> "DBSRMatrix":
+        lengths = bsr.block_row_lengths
+        nonempty = np.nonzero(lengths > 0)[0]
+        new_indptr = np.concatenate([[0], np.cumsum(lengths[nonempty])])
+        return cls(
+            bsr.shape,
+            bsr.block_size,
+            nonempty,
+            new_indptr,
+            bsr.indices,
+            bsr.data,
+        )
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix, block_size: int) -> "DBSRMatrix":
+        return cls.from_bsr(BSRMatrix.from_csr(csr, block_size))
+
+    # -- properties -----------------------------------------------------------------
+    @property
+    def num_stored_block_rows(self) -> int:
+        return int(len(self.row_indices))
+
+    @property
+    def num_block_rows(self) -> int:
+        return self.shape[0] // self.block_size
+
+    @property
+    def num_blocks(self) -> int:
+        return int(len(self.indices))
+
+    @property
+    def nnz_stored(self) -> int:
+        return self.num_blocks * self.block_size * self.block_size
+
+    @property
+    def empty_block_row_fraction(self) -> float:
+        if self.num_block_rows == 0:
+            return 0.0
+        return 1.0 - self.num_stored_block_rows / self.num_block_rows
+
+    def nbytes(self, index_bytes: int = 4, value_bytes: int = 4) -> int:
+        return (
+            (len(self.row_indices) + len(self.indptr) + len(self.indices)) * index_bytes
+            + self.nnz_stored * value_bytes
+        )
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float32)
+        b = self.block_size
+        for stored_row, block_row in enumerate(self.row_indices):
+            start, end = self.indptr[stored_row], self.indptr[stored_row + 1]
+            for pos in range(start, end):
+                block_col = self.indices[pos]
+                dense[block_row * b : (block_row + 1) * b, block_col * b : (block_col + 1) * b] = (
+                    self.data[pos]
+                )
+        return dense
+
+    def __repr__(self) -> str:
+        return (
+            f"DBSRMatrix(shape={self.shape}, block_size={self.block_size}, "
+            f"stored_rows={self.num_stored_block_rows}/{self.num_block_rows})"
+        )

@@ -1,0 +1,60 @@
+"""Diagonal (DIA) matrices, used for band/Longformer attention masks."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .csr import CSRMatrix
+
+
+class DIAMatrix:
+    """A DIA matrix: a dense array of diagonals identified by their offsets."""
+
+    def __init__(self, shape: Tuple[int, int], offsets: np.ndarray, data: np.ndarray):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float32)
+        if self.data.shape != (len(self.offsets), self.shape[1]):
+            raise ValueError("DIA data must have shape (num_diagonals, cols)")
+
+    @classmethod
+    def from_scipy(cls, matrix: sp.spmatrix) -> "DIAMatrix":
+        dia = sp.dia_matrix(matrix)
+        return cls(dia.shape, dia.offsets, dia.data)
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix) -> "DIAMatrix":
+        return cls.from_scipy(csr.to_scipy())
+
+    @classmethod
+    def band(cls, size: int, bandwidth: int, value: float = 1.0) -> "DIAMatrix":
+        """A band matrix with ``2 * bandwidth + 1`` diagonals (Longformer mask)."""
+        offsets = np.arange(-bandwidth, bandwidth + 1)
+        data = np.full((len(offsets), size), value, dtype=np.float32)
+        return cls((size, size), offsets, data)
+
+    @property
+    def num_diagonals(self) -> int:
+        return int(len(self.offsets))
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.to_dense()))
+
+    def to_scipy(self) -> sp.dia_matrix:
+        return sp.dia_matrix((self.data, self.offsets), shape=self.shape)
+
+    def to_dense(self) -> np.ndarray:
+        return np.asarray(self.to_scipy().todense(), dtype=np.float32)
+
+    def to_csr(self) -> CSRMatrix:
+        return CSRMatrix.from_scipy(self.to_scipy().tocsr())
+
+    def nbytes(self, value_bytes: int = 4, index_bytes: int = 4) -> int:
+        return self.data.size * value_bytes + len(self.offsets) * index_bytes
+
+    def __repr__(self) -> str:
+        return f"DIAMatrix(shape={self.shape}, diagonals={self.num_diagonals})"

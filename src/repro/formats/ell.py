@@ -1,0 +1,112 @@
+"""ELLPACK (ELL) matrices: a fixed number of non-zero columns per row.
+
+Padded slots use column index ``-1``; the SparseTIR runtime treats loads of
+structural zeros as 0, so padded slots contribute nothing to computations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.axes import DenseFixedAxis, SparseFixedAxis
+from .csr import CSRMatrix
+
+PAD = -1
+
+
+class ELLMatrix:
+    """An ELL matrix with ``nnz_cols`` stored entries per row."""
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indices: np.ndarray,
+        data: Optional[np.ndarray] = None,
+        row_map: Optional[np.ndarray] = None,
+    ):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indices = np.asarray(indices, dtype=np.int64)
+        if self.indices.ndim != 2:
+            raise ValueError("ELL indices must be a 2-D (rows x nnz_cols) array")
+        if data is None:
+            data = np.zeros_like(self.indices, dtype=np.float32)
+        self.data = np.asarray(data, dtype=np.float32)
+        if self.data.shape != self.indices.shape:
+            raise ValueError("ELL data must have the same shape as indices")
+        # Optional mapping from local rows to rows of an enclosing matrix
+        # (used by the hyb format whose buckets hold a subset of the rows).
+        self.row_map = None if row_map is None else np.asarray(row_map, dtype=np.int64)
+        if self.row_map is not None and len(self.row_map) != self.num_rows:
+            raise ValueError("row_map must have one entry per stored row")
+
+    # -- constructors -----------------------------------------------------------------
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix, nnz_cols: Optional[int] = None) -> "ELLMatrix":
+        width = csr.max_row_length() if nnz_cols is None else int(nnz_cols)
+        if csr.max_row_length() > width:
+            raise ValueError(
+                f"rows have up to {csr.max_row_length()} non-zeros, ELL width {width} too small"
+            )
+        indices = np.full((csr.rows, width), PAD, dtype=np.int64)
+        data = np.zeros((csr.rows, width), dtype=np.float32)
+        for row in range(csr.rows):
+            start, end = csr.indptr[row], csr.indptr[row + 1]
+            count = end - start
+            indices[row, :count] = csr.indices[start:end]
+            data[row, :count] = csr.data[start:end]
+        return cls(csr.shape, indices, data)
+
+    # -- properties -----------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def nnz_cols(self) -> int:
+        return int(self.indices.shape[1])
+
+    @property
+    def stored(self) -> int:
+        """Number of stored slots, including padding."""
+        return self.num_rows * self.nnz_cols
+
+    @property
+    def nnz(self) -> int:
+        """Number of real (non-padded) entries."""
+        return int((self.indices != PAD).sum())
+
+    @property
+    def padding_ratio(self) -> float:
+        if self.stored == 0:
+            return 0.0
+        return 1.0 - self.nnz / self.stored
+
+    def nbytes(self, index_bytes: int = 4, value_bytes: int = 4) -> int:
+        return self.stored * (index_bytes + value_bytes)
+
+    # -- conversions -----------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        rows = self.shape[0] if self.row_map is None else self.shape[0]
+        dense = np.zeros(self.shape, dtype=np.float32)
+        for local_row in range(self.num_rows):
+            target = local_row if self.row_map is None else int(self.row_map[local_row])
+            for slot in range(self.nnz_cols):
+                col = self.indices[local_row, slot]
+                if col != PAD:
+                    dense[target, col] += self.data[local_row, slot]
+        return dense
+
+    def to_axes(self, prefix: str = "") -> Tuple[DenseFixedAxis, SparseFixedAxis]:
+        i_axis = DenseFixedAxis(f"{prefix}I_ell", self.num_rows)
+        j_axis = SparseFixedAxis(
+            f"{prefix}J_ell", i_axis, self.shape[1], self.nnz_cols, indices=self.indices.reshape(-1)
+        )
+        return i_axis, j_axis
+
+    def __repr__(self) -> str:
+        return (
+            f"ELLMatrix(rows={self.num_rows}, nnz_cols={self.nnz_cols}, "
+            f"padding={self.padding_ratio:.2%})"
+        )

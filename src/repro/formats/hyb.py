@@ -1,0 +1,187 @@
+"""The composable ``hyb(c, k)`` format of Section 4.2.1.
+
+The sparse matrix's columns are split into ``c`` contiguous partitions.
+Within each partition, rows are grouped into buckets by their (partition
+local) length: bucket ``i`` collects rows whose length ``l`` satisfies
+``2^(i-1) < l <= 2^i`` and pads them to width ``2^i``.  Each bucket is an ELL
+sub-matrix with an explicit ``row_map`` from bucket-local rows back to the
+original rows.  Rows longer than the largest bucket width are split into
+multiple bucket rows ("row splitting"), which is what bounds the work per
+thread block and delivers compile-time load balancing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .csr import CSRMatrix
+from .ell import ELLMatrix, PAD
+
+
+@dataclass
+class HybBucket:
+    """One ELL bucket of one column partition."""
+
+    partition: int
+    width: int
+    ell: ELLMatrix
+    col_offset: int = 0
+
+    @property
+    def num_rows(self) -> int:
+        return self.ell.num_rows
+
+    @property
+    def nnz(self) -> int:
+        return self.ell.nnz
+
+    @property
+    def stored(self) -> int:
+        return self.ell.stored
+
+
+class HybFormat:
+    """A ``hyb(num_col_parts, num_buckets)`` decomposition of a CSR matrix."""
+
+    def __init__(self, source: CSRMatrix, num_col_parts: int, bucket_widths: Sequence[int]):
+        if num_col_parts <= 0:
+            raise ValueError("num_col_parts must be positive")
+        if not bucket_widths or any(w <= 0 for w in bucket_widths):
+            raise ValueError("bucket widths must be positive")
+        self.source = source
+        self.num_col_parts = int(num_col_parts)
+        self.bucket_widths = sorted(int(w) for w in bucket_widths)
+        self.buckets: List[HybBucket] = []
+        self._build()
+
+    # -- constructors -----------------------------------------------------------------
+    @classmethod
+    def from_csr(
+        cls,
+        csr: CSRMatrix,
+        num_col_parts: int = 1,
+        num_buckets: Optional[int] = None,
+    ) -> "HybFormat":
+        """Build ``hyb(c, k)`` with power-of-two bucket widths ``1..2^(k-1)``.
+
+        When ``num_buckets`` is omitted the paper's heuristic
+        ``k = ceil(log2(nnz / n))`` (average degree) is used.
+        """
+        if num_buckets is None:
+            average = max(csr.nnz / max(csr.rows, 1), 1.0)
+            num_buckets = max(1, int(math.ceil(math.log2(average))) + 1)
+        widths = [2 ** i for i in range(num_buckets)]
+        return cls(csr, num_col_parts, widths)
+
+    # -- construction -----------------------------------------------------------------
+    def _build(self) -> None:
+        partition_width = (self.source.cols + self.num_col_parts - 1) // self.num_col_parts
+        source = self.source.to_scipy()
+        max_width = self.bucket_widths[-1]
+        for part in range(self.num_col_parts):
+            lo = part * partition_width
+            hi = min((part + 1) * partition_width, self.source.cols)
+            if lo >= hi:
+                continue
+            sub = source[:, lo:hi].tocsr()
+            sub.sort_indices()
+            lengths = np.diff(sub.indptr)
+            # Rows per bucket: bucket b holds rows with width[b-1] < len <= width[b];
+            # rows longer than the largest bucket are split into ceil(len / max) rows.
+            rows_per_bucket: Dict[int, List[Tuple[int, np.ndarray, np.ndarray]]] = {
+                w: [] for w in self.bucket_widths
+            }
+            for row in range(sub.shape[0]):
+                length = int(lengths[row])
+                if length == 0:
+                    continue
+                cols = sub.indices[sub.indptr[row] : sub.indptr[row + 1]]
+                vals = sub.data[sub.indptr[row] : sub.indptr[row + 1]]
+                if length <= max_width:
+                    width = self._bucket_for(length)
+                    rows_per_bucket[width].append((row, cols, vals))
+                else:
+                    for start in range(0, length, max_width):
+                        piece_cols = cols[start : start + max_width]
+                        piece_vals = vals[start : start + max_width]
+                        rows_per_bucket[max_width].append((row, piece_cols, piece_vals))
+            for width in self.bucket_widths:
+                entries = rows_per_bucket[width]
+                if not entries:
+                    continue
+                indices = np.full((len(entries), width), PAD, dtype=np.int64)
+                data = np.zeros((len(entries), width), dtype=np.float32)
+                row_map = np.zeros(len(entries), dtype=np.int64)
+                for slot, (row, cols, vals) in enumerate(entries):
+                    indices[slot, : len(cols)] = cols
+                    data[slot, : len(cols)] = vals
+                    row_map[slot] = row
+                ell = ELLMatrix((len(entries), hi - lo), indices, data, row_map=row_map)
+                self.buckets.append(HybBucket(part, width, ell, col_offset=lo))
+
+    def _bucket_for(self, length: int) -> int:
+        for width in self.bucket_widths:
+            if length <= width:
+                return width
+        return self.bucket_widths[-1]
+
+    # -- statistics -----------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return sum(bucket.nnz for bucket in self.buckets)
+
+    @property
+    def stored(self) -> int:
+        return sum(bucket.stored for bucket in self.buckets)
+
+    @property
+    def padding_ratio(self) -> float:
+        """Fraction of stored slots that are padding (the paper's %padding)."""
+        if self.stored == 0:
+            return 0.0
+        return 1.0 - self.nnz / self.stored
+
+    def num_buckets(self) -> int:
+        return len(self.buckets)
+
+    def bucket_summary(self) -> List[Dict[str, int]]:
+        return [
+            {
+                "partition": bucket.partition,
+                "width": bucket.width,
+                "rows": bucket.num_rows,
+                "nnz": bucket.nnz,
+                "stored": bucket.stored,
+            }
+            for bucket in self.buckets
+        ]
+
+    def nbytes(self, index_bytes: int = 4, value_bytes: int = 4) -> int:
+        total = 0
+        for bucket in self.buckets:
+            total += bucket.ell.nbytes(index_bytes, value_bytes)
+            total += bucket.num_rows * index_bytes  # row_map
+        return total
+
+    # -- correctness -----------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.source.shape, dtype=np.float32)
+        for bucket in self.buckets:
+            ell = bucket.ell
+            for local_row in range(ell.num_rows):
+                target = int(ell.row_map[local_row])
+                for slot in range(ell.nnz_cols):
+                    col = ell.indices[local_row, slot]
+                    if col != PAD:
+                        dense[target, bucket.col_offset + col] += ell.data[local_row, slot]
+        return dense
+
+    def __repr__(self) -> str:
+        return (
+            f"HybFormat(parts={self.num_col_parts}, widths={self.bucket_widths}, "
+            f"buckets={len(self.buckets)}, padding={self.padding_ratio:.2%})"
+        )

@@ -1,0 +1,34 @@
+"""Padding statistics for composable formats (Tables 1 and 2 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .csr import CSRMatrix
+from .hyb import HybFormat
+
+
+def padding_ratio_hyb(
+    csr: CSRMatrix, num_col_parts: int = 1, num_buckets: Optional[int] = None
+) -> float:
+    """Fraction of padded zero elements after transforming ``csr`` to hyb."""
+    hyb = HybFormat.from_csr(csr, num_col_parts=num_col_parts, num_buckets=num_buckets)
+    return hyb.padding_ratio
+
+
+def padding_ratio_percent(
+    csr: CSRMatrix, num_col_parts: int = 1, num_buckets: Optional[int] = None
+) -> float:
+    """The %padding column of Tables 1 and 2 (in percent)."""
+    return 100.0 * padding_ratio_hyb(csr, num_col_parts, num_buckets)
+
+
+def padded_flops_inflation(padding_ratio: float) -> float:
+    """Multiplicative FLOP inflation caused by a given padding ratio.
+
+    With padding ratio ``p`` the padded format stores ``nnz / (1 - p)`` slots,
+    so the kernel performs ``1 / (1 - p)`` times the useful multiply-adds.
+    """
+    if not 0.0 <= padding_ratio < 1.0:
+        raise ValueError("padding ratio must be in [0, 1)")
+    return 1.0 / (1.0 - padding_ratio)

@@ -1,0 +1,65 @@
+"""Ragged tensors: dense-variable rows (CoRA-style), one of the formats the
+paper's axis composition can express."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.axes import DenseFixedAxis, DenseVariableAxis
+
+
+class RaggedTensor:
+    """A 2-D ragged tensor: every row has its own length."""
+
+    def __init__(self, row_lengths: Sequence[int], values: np.ndarray):
+        self.row_lengths = np.asarray(row_lengths, dtype=np.int64)
+        if np.any(self.row_lengths < 0):
+            raise ValueError("row lengths must be non-negative")
+        self.indptr = np.concatenate([[0], np.cumsum(self.row_lengths)])
+        self.values = np.asarray(values, dtype=np.float32).reshape(-1)
+        if self.values.size != int(self.indptr[-1]):
+            raise ValueError(
+                f"values has {self.values.size} entries, row lengths sum to {int(self.indptr[-1])}"
+            )
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Sequence[float]]) -> "RaggedTensor":
+        lengths = [len(row) for row in rows]
+        flat = np.concatenate([np.asarray(row, dtype=np.float32) for row in rows]) if rows else np.zeros(0)
+        return cls(lengths, flat)
+
+    @property
+    def num_rows(self) -> int:
+        return int(len(self.row_lengths))
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indptr[-1])
+
+    def row(self, index: int) -> np.ndarray:
+        return self.values[self.indptr[index] : self.indptr[index + 1]]
+
+    def to_padded(self, pad_value: float = 0.0) -> np.ndarray:
+        width = int(self.row_lengths.max()) if self.num_rows else 0
+        out = np.full((self.num_rows, width), pad_value, dtype=np.float32)
+        for i in range(self.num_rows):
+            out[i, : self.row_lengths[i]] = self.row(i)
+        return out
+
+    def padding_ratio(self) -> float:
+        width = int(self.row_lengths.max()) if self.num_rows else 0
+        padded = self.num_rows * width
+        return 0.0 if padded == 0 else 1.0 - self.nnz / padded
+
+    def to_axes(self, prefix: str = "") -> Tuple[DenseFixedAxis, DenseVariableAxis]:
+        i_axis = DenseFixedAxis(f"{prefix}I_rag", self.num_rows)
+        j_axis = DenseVariableAxis(
+            f"{prefix}J_rag", i_axis, int(self.row_lengths.max()) if self.num_rows else 0,
+            self.nnz, indptr=self.indptr,
+        )
+        return i_axis, j_axis
+
+    def __repr__(self) -> str:
+        return f"RaggedTensor(rows={self.num_rows}, nnz={self.nnz})"

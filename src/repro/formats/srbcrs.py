@@ -1,0 +1,127 @@
+"""SR-BCRS(t, g): the tile-and-group format of Section 4.3.2 / Figure 18.
+
+The matrix is divided into ``t x 1`` column tiles; all-zero tiles are
+skipped.  The surviving tiles of each tile-row are grouped by a factor ``g``
+and the trailing group is padded with zero tiles.  Compared with BSR the
+format greatly reduces intra-block fragmentation (worst-case occupancy
+``1/t`` instead of ``1/b^2``), which is why it suits unstructured-pruned
+weights while still feeding Tensor Core MMA instructions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+
+class SRBCRSMatrix:
+    """An SR-BCRS(t, g) matrix built from a CSR source."""
+
+    def __init__(self, source: CSRMatrix, tile_rows: int, group_size: int):
+        if tile_rows <= 0 or group_size <= 0:
+            raise ValueError("tile_rows and group_size must be positive")
+        self.source = source
+        self.tile_rows = int(tile_rows)
+        self.group_size = int(group_size)
+        self._build()
+
+    def _build(self) -> None:
+        csr = self.source
+        t, g = self.tile_rows, self.group_size
+        num_tile_rows = math.ceil(csr.rows / t)
+        dense = csr.to_dense()
+        rows_padded = num_tile_rows * t
+        if rows_padded != csr.rows:
+            dense = np.vstack([dense, np.zeros((rows_padded - csr.rows, csr.cols), dtype=np.float32)])
+
+        tile_cols_per_row = []   # list of arrays: non-empty tile column ids per tile row
+        for tile_row in range(num_tile_rows):
+            block = dense[tile_row * t : (tile_row + 1) * t, :]
+            nonzero_cols = np.nonzero(np.any(block != 0, axis=0))[0]
+            tile_cols_per_row.append(nonzero_cols)
+
+        # Group the surviving tiles by g and pad the trailing group.
+        self.group_indptr = np.zeros(num_tile_rows + 1, dtype=np.int64)
+        indices_list = []
+        data_list = []
+        for tile_row, cols in enumerate(tile_cols_per_row):
+            num_groups = math.ceil(len(cols) / g) if len(cols) else 0
+            self.group_indptr[tile_row + 1] = self.group_indptr[tile_row] + num_groups
+            padded = np.full(num_groups * g, -1, dtype=np.int64)
+            padded[: len(cols)] = cols
+            indices_list.append(padded)
+            block = dense[tile_row * t : (tile_row + 1) * t, :]
+            values = np.zeros((num_groups * g, t), dtype=np.float32)
+            values[: len(cols)] = block[:, cols].T
+            data_list.append(values)
+
+        self.num_tile_rows = num_tile_rows
+        self.indices = (
+            np.concatenate(indices_list) if indices_list else np.zeros(0, dtype=np.int64)
+        )
+        self.data = (
+            np.concatenate(data_list, axis=0) if data_list else np.zeros((0, t), dtype=np.float32)
+        )
+
+    # -- properties -----------------------------------------------------------------
+    @property
+    def num_groups(self) -> int:
+        return int(self.group_indptr[-1])
+
+    @property
+    def num_stored_tiles(self) -> int:
+        return int(len(self.indices))
+
+    @property
+    def nnz_stored(self) -> int:
+        """Stored elements including padding inside tiles and trailing groups."""
+        return self.num_stored_tiles * self.tile_rows
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.data))
+
+    @property
+    def new_format_density(self) -> float:
+        """Density of the matrix once re-expressed in SR-BCRS (Figure 19, right)."""
+        total = self.source.rows * self.source.cols
+        if total == 0:
+            return 0.0
+        return self.nnz_stored / total
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of stored slots that hold real non-zeros."""
+        if self.nnz_stored == 0:
+            return 0.0
+        return self.nnz / self.nnz_stored
+
+    def nbytes(self, index_bytes: int = 4, value_bytes: int = 2) -> int:
+        return (
+            len(self.group_indptr) * index_bytes
+            + self.num_stored_tiles * index_bytes
+            + self.nnz_stored * value_bytes
+        )
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros((self.num_tile_rows * self.tile_rows, self.source.cols), dtype=np.float32)
+        t, g = self.tile_rows, self.group_size
+        cursor = 0
+        for tile_row in range(self.num_tile_rows):
+            groups = int(self.group_indptr[tile_row + 1] - self.group_indptr[tile_row])
+            for slot in range(groups * g):
+                col = self.indices[cursor]
+                if col >= 0:
+                    dense[tile_row * t : (tile_row + 1) * t, col] = self.data[cursor]
+                cursor += 1
+        return dense[: self.source.rows]
+
+    def __repr__(self) -> str:
+        return (
+            f"SRBCRSMatrix(t={self.tile_rows}, g={self.group_size}, tiles={self.num_stored_tiles}, "
+            f"occupancy={self.occupancy:.2f})"
+        )

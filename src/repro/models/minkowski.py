@@ -1,0 +1,87 @@
+"""A MinkowskiNet-style sparse-convolution backbone (Section 4.4.2).
+
+The paper extracts every sparse-convolution operator of MinkowskiNet on
+SemanticKITTI.  This module stacks submanifold 3x3x3 sparse-convolution
+layers over a synthetic voxelised scan, provides a NumPy forward pass, and
+estimates per-layer execution time for SparseTIR's fused Tensor-Core kernel
+versus TorchSparse's gather-GEMM-scatter execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines import torchsparse
+from ..ops.sparse_conv import (
+    SparseConvProblem,
+    sparse_conv_fused_tc_workload,
+    sparse_conv_reference,
+)
+from ..perf.device import DeviceSpec
+from ..perf.gpu_model import GPUModel
+from ..workloads.pointcloud import PointCloudConfig, sparse_conv_problem
+from .shared import relu
+
+
+@dataclass
+class SparseConvLayer:
+    """One submanifold sparse-convolution layer with its weights."""
+
+    problem: SparseConvProblem
+    weights: np.ndarray  # (kernel_volume, in_channels, out_channels)
+
+    @classmethod
+    def create(cls, problem: SparseConvProblem, seed: int = 0) -> "SparseConvLayer":
+        rng = np.random.default_rng(seed)
+        scale = np.sqrt(2.0 / (problem.in_channels * problem.kernel_volume))
+        weights = (
+            rng.standard_normal(
+                (problem.kernel_volume, problem.in_channels, problem.out_channels)
+            ).astype(np.float32)
+            * scale
+        )
+        return cls(problem, weights)
+
+    def forward(self, features: np.ndarray, activation: bool = True) -> np.ndarray:
+        out = sparse_conv_reference(self.problem, features, self.weights)
+        return relu(out) if activation else out
+
+
+class MinkowskiBackbone:
+    """A stack of sparse-convolution layers over one voxelised scan."""
+
+    def __init__(
+        self,
+        channel_plan: Sequence[Tuple[int, int]],
+        config: Optional[PointCloudConfig] = None,
+        seed: int = 0,
+    ):
+        self.config = config or PointCloudConfig()
+        self.layers: List[SparseConvLayer] = []
+        for index, (cin, cout) in enumerate(channel_plan):
+            problem = sparse_conv_problem(cin, cout, self.config)
+            self.layers.append(SparseConvLayer.create(problem, seed=seed + index))
+
+    def forward(self, features: np.ndarray) -> np.ndarray:
+        out = features
+        for index, layer in enumerate(self.layers):
+            last = index == len(self.layers) - 1
+            out = layer.forward(out, activation=not last)
+        return out
+
+
+def estimate_layer_times(
+    problem: SparseConvProblem, device: DeviceSpec
+) -> Dict[str, float]:
+    """Per-layer execution time (us) of SparseTIR(TC) and TorchSparse."""
+    model = GPUModel(device)
+    ours = model.estimate(sparse_conv_fused_tc_workload(problem, device))
+    baseline = model.estimate(torchsparse.sparse_conv_workload(problem, device))
+    return {
+        "sparsetir_tc_us": ours.duration_us,
+        "torchsparse_us": baseline.duration_us,
+        "speedup": baseline.duration_us / ours.duration_us,
+    }

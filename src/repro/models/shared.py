@@ -1,0 +1,47 @@
+"""Shared neural-network primitives and helpers for the end-to-end models."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..baselines.cublas import gemm_workload
+from ..perf.device import DeviceSpec
+from ..perf.workload import KernelWorkload
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    return (x > 0.0).astype(np.float32)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient with respect to the logits."""
+    probabilities = softmax(logits)
+    n = logits.shape[0]
+    eps = 1e-12
+    loss = float(-np.log(probabilities[np.arange(n), labels] + eps).mean())
+    grad = probabilities.copy()
+    grad[np.arange(n), labels] -= 1.0
+    grad /= n
+    return loss, grad.astype(np.float32)
+
+
+def gemm_workload_for_model(
+    m: int, k: int, n: int, device: DeviceSpec, dtype: str = "float32"
+) -> KernelWorkload:
+    """A dense (m x k) @ (k x n) GEMM as executed by the framework (cuBLAS)."""
+    return gemm_workload(
+        m, n, k, device, dtype=dtype, use_tensor_cores=dtype == "float16",
+        name=f"gemm_{m}x{k}x{n}",
+    )

@@ -1,0 +1,27 @@
+"""Simulated-GPU performance model.
+
+This package substitutes for the NVIDIA V100 / RTX 3070 hardware used in the
+paper's evaluation.  Operators and baselines describe each kernel launch as a
+:class:`~repro.perf.workload.KernelWorkload` (thread-block groups with their
+FLOP counts, DRAM traffic, shared-memory usage and execution features); the
+:class:`~repro.perf.gpu_model.GPUModel` estimates execution time from
+occupancy, per-block roofline costs, load-balance-aware makespan scheduling
+across SMs, tensor-core throughput and kernel-launch overhead.  A
+set-associative cache simulator provides the L1/L2 hit rates reported in
+Figure 12.
+"""
+
+from .device import RTX3070, V100, DeviceSpec
+from .gpu_model import GPUModel, PerfReport, profile_kernel
+from .workload import BlockGroup, KernelWorkload
+
+__all__ = [
+    "DeviceSpec",
+    "V100",
+    "RTX3070",
+    "GPUModel",
+    "PerfReport",
+    "profile_kernel",
+    "KernelWorkload",
+    "BlockGroup",
+]

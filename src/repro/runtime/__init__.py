@@ -1,0 +1,5 @@
+"""Runtime: NumPy-backed execution of lowered SparseTIR programs."""
+
+from .executor import Executor, run_primfunc
+
+__all__ = ["Executor", "run_primfunc"]

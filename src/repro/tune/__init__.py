@@ -1,0 +1,22 @@
+"""Performance tuning over composable formats and composable transformations.
+
+Section 2 of the paper describes a tuning system that searches the joint
+space of format parameters (e.g. the ``hyb`` column-partition count and
+bucket widths) and schedule parameters (threads per block, vector widths,
+rows per block, ...).  The tuner here performs the same search with the GPU
+performance model as its objective; because the sparse structure is known at
+"compile" time, the chosen configuration is reused for every subsequent run,
+amortising the search cost exactly as the paper argues.
+"""
+
+from .search_space import Choice, ParameterSpace
+from .tuner import TuningResult, grid_search, random_search, tune_spmm
+
+__all__ = [
+    "Choice",
+    "ParameterSpace",
+    "TuningResult",
+    "grid_search",
+    "random_search",
+    "tune_spmm",
+]

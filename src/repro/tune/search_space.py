@@ -1,0 +1,88 @@
+"""Parameter spaces for format/schedule tuning."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Choice:
+    """One tunable parameter: a name and its candidate values."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"parameter {self.name!r} needs at least one candidate value")
+
+
+class ParameterSpace:
+    """A Cartesian product of named parameter choices."""
+
+    def __init__(self, choices: Sequence[Choice]):
+        names = [c.name for c in choices]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate parameter names in the search space")
+        self.choices = list(choices)
+
+    def __len__(self) -> int:
+        size = 1
+        for choice in self.choices:
+            size *= len(choice.values)
+        return size
+
+    def configurations(self) -> Iterator[Dict[str, Any]]:
+        """Iterate over every configuration of the space."""
+        names = [c.name for c in self.choices]
+        for combo in itertools.product(*(c.values for c in self.choices)):
+            yield dict(zip(names, combo))
+
+    def sample(self, count: int, seed: int = 0) -> List[Dict[str, Any]]:
+        """Sample ``count`` configurations uniformly (without replacement when possible)."""
+        rng = np.random.default_rng(seed)
+        total = len(self)
+        if count >= total:
+            return list(self.configurations())
+        picked = set()
+        configs: List[Dict[str, Any]] = []
+        all_values = [c.values for c in self.choices]
+        names = [c.name for c in self.choices]
+        while len(configs) < count:
+            key = tuple(int(rng.integers(0, len(v))) for v in all_values)
+            if key in picked:
+                continue
+            picked.add(key)
+            configs.append({name: values[idx] for name, values, idx in zip(names, all_values, key)})
+        return configs
+
+
+def spmm_search_space() -> ParameterSpace:
+    """The SpMM tuning space of Section 4.2.1.
+
+    ``num_col_parts`` follows the paper's candidate set {1, 2, 4, 8, 16};
+    the bucket count is either the heuristic (None) or an explicit value;
+    schedule parameters cover the thread-block size used for the ELL buckets.
+    """
+    return ParameterSpace(
+        [
+            Choice("num_col_parts", (1, 2, 4, 8, 16)),
+            Choice("num_buckets", (None, 2, 3, 4, 5)),
+            Choice("threads_per_block", (64, 128, 256)),
+        ]
+    )
+
+
+def sddmm_search_space() -> ParameterSpace:
+    """The SDDMM tuning space: group size, vector width, edges per block."""
+    return ParameterSpace(
+        [
+            Choice("nnz_per_block", (16, 32, 64, 128)),
+            Choice("threads_per_block", (128, 256, 512)),
+            Choice("vector_width", (1, 2, 4)),
+        ]
+    )

@@ -1,0 +1,105 @@
+"""Search drivers and the SpMM format/schedule tuner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..formats.csr import CSRMatrix
+from ..formats.hyb import HybFormat
+from ..ops.spmm import spmm_hyb_workload
+from ..perf.device import DeviceSpec
+from ..perf.gpu_model import GPUModel, PerfReport
+from .search_space import ParameterSpace
+
+Objective = Callable[[Dict[str, Any]], float]
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one tuning run."""
+
+    best_config: Dict[str, Any]
+    best_cost: float
+    evaluated: int
+    history: List[Dict[str, Any]] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return (
+            f"TuningResult(best_cost={self.best_cost:.3f}, evaluated={self.evaluated}, "
+            f"best_config={self.best_config})"
+        )
+
+
+def grid_search(space: ParameterSpace, objective: Objective) -> TuningResult:
+    """Exhaustively evaluate the space and return the minimum-cost configuration."""
+    best_config: Optional[Dict[str, Any]] = None
+    best_cost = float("inf")
+    history: List[Dict[str, Any]] = []
+    count = 0
+    for config in space.configurations():
+        cost = objective(config)
+        history.append({"config": dict(config), "cost": cost})
+        count += 1
+        if cost < best_cost:
+            best_cost = cost
+            best_config = dict(config)
+    if best_config is None:
+        raise ValueError("empty search space")
+    return TuningResult(best_config, best_cost, count, history)
+
+
+def random_search(
+    space: ParameterSpace, objective: Objective, trials: int, seed: int = 0
+) -> TuningResult:
+    """Evaluate ``trials`` random configurations and return the best."""
+    best_config: Optional[Dict[str, Any]] = None
+    best_cost = float("inf")
+    history: List[Dict[str, Any]] = []
+    configs = space.sample(trials, seed=seed)
+    for config in configs:
+        cost = objective(config)
+        history.append({"config": dict(config), "cost": cost})
+        if cost < best_cost:
+            best_cost = cost
+            best_config = dict(config)
+    if best_config is None:
+        raise ValueError("no configurations evaluated")
+    return TuningResult(best_config, best_cost, len(configs), history)
+
+
+def tune_spmm(
+    csr: CSRMatrix,
+    feat_size: int,
+    device: DeviceSpec,
+    space: Optional[ParameterSpace] = None,
+    max_trials: Optional[int] = None,
+    seed: int = 0,
+) -> TuningResult:
+    """Search composable-format and schedule parameters for the hyb SpMM.
+
+    The objective is the performance model's estimated kernel duration; the
+    hyb decomposition is rebuilt for every candidate column-partition /
+    bucket-count pair, which is exactly the joint format-and-schedule space
+    of the paper.
+    """
+    from .search_space import spmm_search_space
+
+    space = space or spmm_search_space()
+    cache: Dict[Any, HybFormat] = {}
+    model = GPUModel(device)
+
+    def objective(config: Dict[str, Any]) -> float:
+        key = (config["num_col_parts"], config["num_buckets"])
+        if key not in cache:
+            cache[key] = HybFormat.from_csr(
+                csr, num_col_parts=config["num_col_parts"], num_buckets=config["num_buckets"]
+            )
+        workload = spmm_hyb_workload(
+            cache[key], feat_size, device, threads_per_block=config["threads_per_block"]
+        )
+        return model.estimate(workload).duration_us
+
+    if max_trials is not None and max_trials < len(space):
+        return random_search(space, objective, trials=max_trials, seed=seed)
+    return grid_search(space, objective)

@@ -1,0 +1,100 @@
+"""Sparse attention masks: the Longformer band mask and the Pixelated
+Butterfly mask (Section 4.3.1).
+
+Both masks are manually designed block-sparse structures; the evaluation
+fixes the sequence length to 4096, the band size to 256, 12 heads and a
+64-dimensional head.  Generators return CSR matrices (element granularity)
+from which BSR views are derived for the Tensor Core kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..formats.bsr import BSRMatrix
+from ..formats.csr import CSRMatrix
+
+
+@dataclass(frozen=True)
+class AttentionConfig:
+    """The sparse-attention operator configuration of Figure 16."""
+
+    seq_len: int = 4096
+    num_heads: int = 12
+    head_dim: int = 64
+    band_size: int = 256
+    block_size: int = 16
+
+
+def band_mask(seq_len: int, band_size: int, block_size: int = 16) -> CSRMatrix:
+    """The Longformer banded attention mask.
+
+    Every query attends to keys within ``band_size`` positions on either
+    side; the mask is built at block granularity so it is exactly expressible
+    in BSR with the given block size.
+    """
+    if seq_len % block_size:
+        raise ValueError("seq_len must be divisible by the block size")
+    num_blocks = seq_len // block_size
+    band_blocks = max(1, band_size // block_size)
+    rows = []
+    cols = []
+    for block_row in range(num_blocks):
+        lo = max(0, block_row - band_blocks)
+        hi = min(num_blocks, block_row + band_blocks + 1)
+        for block_col in range(lo, hi):
+            rows.append(block_row)
+            cols.append(block_col)
+    block_mask = sp.coo_matrix(
+        (np.ones(len(rows), dtype=np.float32), (rows, cols)), shape=(num_blocks, num_blocks)
+    )
+    dense_blocks = np.ones((block_size, block_size), dtype=np.float32)
+    full = sp.kron(block_mask, dense_blocks, format="csr")
+    return CSRMatrix.from_scipy(full)
+
+
+def butterfly_mask(seq_len: int, block_size: int = 16, num_factors: Optional[int] = None) -> CSRMatrix:
+    """The Pixelated Butterfly block-sparse mask.
+
+    The mask is the union of a block-diagonal part and butterfly factors that
+    connect blocks at power-of-two strides — the flat butterfly pattern used
+    by the Pixelated Butterfly transformer.
+    """
+    if seq_len % block_size:
+        raise ValueError("seq_len must be divisible by the block size")
+    num_blocks = seq_len // block_size
+    if num_factors is None:
+        num_factors = max(1, int(np.log2(num_blocks)))
+    block_mask = sp.lil_matrix((num_blocks, num_blocks), dtype=np.float32)
+    for block in range(num_blocks):
+        block_mask[block, block] = 1.0
+    for level in range(num_factors):
+        stride = 2 ** level
+        for block in range(num_blocks):
+            partner = block ^ stride
+            if partner < num_blocks:
+                block_mask[block, partner] = 1.0
+    dense_blocks = np.ones((block_size, block_size), dtype=np.float32)
+    full = sp.kron(block_mask.tocsr(), dense_blocks, format="csr")
+    return CSRMatrix.from_scipy(full)
+
+
+def mask_to_bsr(mask: CSRMatrix, block_size: int) -> BSRMatrix:
+    """View an (already block-aligned) mask in BSR."""
+    return BSRMatrix.from_csr(mask, block_size)
+
+
+def attention_inputs(
+    config: AttentionConfig, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Random Q, K, V tensors of shape (heads, seq, head_dim)."""
+    rng = np.random.default_rng(seed)
+    shape = (config.num_heads, config.seq_len, config.head_dim)
+    q = rng.standard_normal(shape).astype(np.float32) / np.sqrt(config.head_dim)
+    k = rng.standard_normal(shape).astype(np.float32) / np.sqrt(config.head_dim)
+    v = rng.standard_normal(shape).astype(np.float32)
+    return q, k, v

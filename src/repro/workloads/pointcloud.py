@@ -1,0 +1,110 @@
+"""Voxelised point clouds and sparse-convolution kernel maps (Section 4.4.2).
+
+SemanticKITTI LiDAR scans are not available offline; the generator produces
+point clouds with a similar structure — points concentrated near the ground
+plane along road-like corridors, voxelised at a configurable resolution —
+and builds the per-offset kernel maps (the ELL(1) relations of Figure 22)
+that a submanifold 3x3x3 sparse convolution needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ops.sparse_conv import SparseConvProblem
+
+
+@dataclass(frozen=True)
+class PointCloudConfig:
+    """Configuration of one synthetic LiDAR-like scan."""
+
+    num_points: int = 20000
+    extent: Tuple[float, float, float] = (80.0, 40.0, 6.0)
+    voxel_size: float = 0.4
+    seed: int = 0
+
+
+def lidar_like_points(config: PointCloudConfig) -> np.ndarray:
+    """Generate 3-D points with road-scene-like anisotropy."""
+    rng = np.random.default_rng(config.seed)
+    n = config.num_points
+    x = rng.uniform(-config.extent[0] / 2, config.extent[0] / 2, size=n)
+    # Points cluster along a corridor in y and near the ground in z.
+    y = rng.normal(0.0, config.extent[1] / 6, size=n).clip(
+        -config.extent[1] / 2, config.extent[1] / 2
+    )
+    z = np.abs(rng.normal(0.0, config.extent[2] / 4, size=n)).clip(0, config.extent[2])
+    return np.stack([x, y, z], axis=1).astype(np.float32)
+
+
+def voxelize(points: np.ndarray, voxel_size: float) -> np.ndarray:
+    """Quantise points to unique integer voxel coordinates."""
+    voxels = np.floor(np.asarray(points) / voxel_size).astype(np.int64)
+    return np.unique(voxels, axis=0)
+
+
+def kernel_offsets(kernel_size: int = 3, dims: int = 3) -> List[Tuple[int, ...]]:
+    """All relative offsets of a cubic convolution kernel."""
+    half = kernel_size // 2
+    ranges = [range(-half, half + 1)] * dims
+    offsets: List[Tuple[int, ...]] = []
+    grid = np.meshgrid(*ranges, indexing="ij")
+    for idx in np.ndindex(*[kernel_size] * dims):
+        offsets.append(tuple(int(g[idx]) for g in grid))
+    return offsets
+
+
+def build_kernel_maps(
+    voxels: np.ndarray, kernel_size: int = 3
+) -> List[np.ndarray]:
+    """Build the (input, output) pair list for every kernel offset.
+
+    For a submanifold convolution the output voxel set equals the input set;
+    offset ``o`` connects input voxel ``v`` to output voxel ``v + o`` whenever
+    both exist.
+    """
+    voxel_index: Dict[Tuple[int, int, int], int] = {
+        tuple(v): i for i, v in enumerate(voxels)
+    }
+    maps: List[np.ndarray] = []
+    for offset in kernel_offsets(kernel_size):
+        pairs: List[Tuple[int, int]] = []
+        offset_arr = np.array(offset, dtype=np.int64)
+        shifted = voxels + offset_arr
+        for in_idx, coords in enumerate(shifted):
+            out_idx = voxel_index.get(tuple(coords))
+            if out_idx is not None:
+                pairs.append((in_idx, out_idx))
+        maps.append(np.array(pairs, dtype=np.int64).reshape(-1, 2))
+    return maps
+
+
+def sparse_conv_problem(
+    in_channels: int,
+    out_channels: int,
+    config: Optional[PointCloudConfig] = None,
+    kernel_size: int = 3,
+) -> SparseConvProblem:
+    """A full sparse-convolution layer problem on a synthetic scan."""
+    config = config or PointCloudConfig()
+    voxels = voxelize(lidar_like_points(config), config.voxel_size)
+    maps = build_kernel_maps(voxels, kernel_size)
+    return SparseConvProblem(
+        num_in_points=len(voxels),
+        num_out_points=len(voxels),
+        in_channels=in_channels,
+        out_channels=out_channels,
+        kernel_maps=maps,
+    )
+
+
+#: The channel configurations swept in Figure 23 (sqrt(Cin * Cout)).
+MINKOWSKINET_CHANNEL_SWEEP: List[Tuple[int, int]] = [
+    (32, 32),
+    (64, 64),
+    (128, 128),
+    (256, 256),
+]

@@ -1,0 +1,141 @@
+"""Pruned transformer weights (Section 4.3.2).
+
+The paper extracts the SpMM operators of two pruned BERT models from
+HuggingFace: a block-pruned model (block size 32, ~93% sparsity) and a
+movement-pruned model (unstructured, ~94% sparsity).  The generators below
+produce weight matrices with the same shapes (BERT-base projections and FFN
+layers) and pruning patterns at a configurable density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..formats.csr import CSRMatrix
+
+#: The (out_features, in_features) shapes of the BERT-base linear layers the
+#: paper benchmarks (attention projections and the two FFN matrices).
+BERT_LAYER_SHAPES: Dict[str, Tuple[int, int]] = {
+    "attention.query": (768, 768),
+    "attention.key": (768, 768),
+    "attention.value": (768, 768),
+    "attention.output": (768, 768),
+    "ffn.intermediate": (3072, 768),
+    "ffn.output": (768, 3072),
+}
+
+#: Sequence length (batch 1) used in the pruned-BERT benchmarks.
+SEQUENCE_LENGTH = 512
+
+
+@dataclass(frozen=True)
+class PrunedLayer:
+    """One pruned linear layer: its weight matrix and the dense input shape."""
+
+    name: str
+    weight: CSRMatrix
+    seq_len: int = SEQUENCE_LENGTH
+
+    @property
+    def density(self) -> float:
+        return self.weight.density
+
+
+def block_pruned_weight(
+    rows: int,
+    cols: int,
+    block_size: int,
+    density: float,
+    seed: int = 0,
+    empty_block_row_fraction: float = 0.5,
+) -> CSRMatrix:
+    """A block-pruned weight matrix.
+
+    ``density`` is the fraction of surviving *elements*; surviving blocks are
+    fully dense (block pruning keeps or drops whole blocks).  A configurable
+    fraction of block rows is entirely pruned, which is the property that the
+    DBSR format exploits (Figure 17).
+    """
+    if rows % block_size or cols % block_size:
+        raise ValueError("weight shape must be divisible by the block size")
+    rng = np.random.default_rng(seed)
+    block_rows, block_cols = rows // block_size, cols // block_size
+    total_blocks = block_rows * block_cols
+    keep_blocks = max(1, int(round(density * total_blocks)))
+
+    empty_rows = rng.choice(
+        block_rows, size=int(block_rows * empty_block_row_fraction), replace=False
+    )
+    allowed_rows = np.setdiff1d(np.arange(block_rows), empty_rows)
+    if allowed_rows.size == 0:
+        allowed_rows = np.arange(block_rows)
+    candidates = np.array(
+        [(r, c) for r in allowed_rows for c in range(block_cols)], dtype=np.int64
+    )
+    keep_blocks = min(keep_blocks, len(candidates))
+    chosen = candidates[rng.choice(len(candidates), size=keep_blocks, replace=False)]
+
+    dense = np.zeros((rows, cols), dtype=np.float32)
+    for block_row, block_col in chosen:
+        block = rng.standard_normal((block_size, block_size)).astype(np.float32) * 0.02
+        block[block == 0.0] = 0.01
+        dense[
+            block_row * block_size : (block_row + 1) * block_size,
+            block_col * block_size : (block_col + 1) * block_size,
+        ] = block
+    return CSRMatrix.from_dense(dense)
+
+
+def unstructured_pruned_weight(
+    rows: int, cols: int, density: float, seed: int = 0
+) -> CSRMatrix:
+    """A movement-pruning-style unstructured weight matrix.
+
+    Surviving weights cluster mildly by output neuron (some rows keep more
+    weights than others), matching the mild row-imbalance of real
+    movement-pruned checkpoints.
+    """
+    rng = np.random.default_rng(seed)
+    row_scale = rng.gamma(shape=4.0, scale=0.25, size=rows)
+    row_scale /= row_scale.mean()
+    keep_per_row = np.round(row_scale * density * cols).astype(np.int64).clip(0, cols)
+    indptr = np.zeros(rows + 1, dtype=np.int64)
+    columns: List[np.ndarray] = []
+    for row in range(rows):
+        count = int(keep_per_row[row])
+        cols_kept = np.sort(rng.choice(cols, size=count, replace=False)) if count else np.zeros(0, dtype=np.int64)
+        columns.append(cols_kept)
+        indptr[row + 1] = indptr[row] + count
+    indices = np.concatenate(columns) if columns else np.zeros(0, dtype=np.int64)
+    data = (rng.standard_normal(len(indices)) * 0.02).astype(np.float32)
+    data[data == 0.0] = 0.01
+    return CSRMatrix((rows, cols), indptr, indices, data)
+
+
+def pruned_bert_layers(
+    mode: str, density: float, block_size: int = 32, seed: int = 0
+) -> List[PrunedLayer]:
+    """All SpMM operators of a pruned BERT encoder layer at the given density."""
+    if mode not in ("block", "unstructured"):
+        raise ValueError("mode must be 'block' or 'unstructured'")
+    layers = []
+    for index, (name, (out_features, in_features)) in enumerate(BERT_LAYER_SHAPES.items()):
+        if mode == "block":
+            weight = block_pruned_weight(
+                out_features, in_features, block_size, density, seed=seed + index
+            )
+        else:
+            weight = unstructured_pruned_weight(out_features, in_features, density, seed=seed + index)
+        layers.append(PrunedLayer(name, weight))
+    return layers
+
+
+def density_sweep(mode: str = "block") -> List[float]:
+    """The density grid of Figures 17 (block) and 19 (unstructured)."""
+    if mode == "block":
+        return [2.0 ** -e for e in range(7, 0, -1)]
+    return [2.0 ** -e for e in range(7, 2, -1)]

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.formats.csr import CSRMatrix
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def small_csr():
+    """A small random CSR matrix with at least one empty and one dense-ish row."""
+    rng = np.random.default_rng(42)
+    dense = (rng.random((12, 16)) < 0.25).astype(np.float32) * rng.random((12, 16)).astype(
+        np.float32
+    )
+    dense[3] = 0.0                      # an empty row
+    dense[7, :10] = rng.random(10)      # a heavy row
+    return CSRMatrix.from_dense(dense)
+
+
+@pytest.fixture
+def tiny_csr():
+    dense = np.array(
+        [
+            [1.0, 0.0, 2.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0],
+            [0.0, 3.0, 0.0, 4.0],
+            [5.0, 0.0, 0.0, 6.0],
+        ],
+        dtype=np.float32,
+    )
+    return CSRMatrix.from_dense(dense)

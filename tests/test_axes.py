@@ -1,0 +1,119 @@
+"""Unit tests for the four axis kinds."""
+
+import numpy as np
+import pytest
+
+from repro.core.axes import (
+    DenseFixedAxis,
+    DenseVariableAxis,
+    SparseFixedAxis,
+    SparseVariableAxis,
+    dense_fixed,
+    dense_variable,
+    sparse_fixed,
+    sparse_variable,
+)
+
+
+@pytest.fixture
+def csr_axes():
+    # 3 rows, 5 columns, nnz=5: rows have columns [1,3], [], [0,2,4]
+    i = dense_fixed("I", 3)
+    indptr = np.array([0, 2, 2, 5])
+    indices = np.array([1, 3, 0, 2, 4])
+    j = sparse_variable("J", i, 5, 5, indptr=indptr, indices=indices)
+    return i, j
+
+
+def test_dense_fixed_basics():
+    axis = dense_fixed("I", 8)
+    assert axis.is_dense and axis.is_fixed and axis.is_root
+    assert axis.nnz_total() == 8
+    assert axis.row_extent(0) == 8
+    assert axis.position_to_coordinate(0, 5) == 5
+    assert axis.coordinate_to_position(0, 5) == 5
+    assert axis.coordinate_to_position(0, 9) == -1
+
+
+def test_dense_fixed_rejects_negative_length():
+    with pytest.raises(ValueError):
+        dense_fixed("I", -1)
+
+
+def test_sparse_variable_positions_and_coordinates(csr_axes):
+    _, j = csr_axes
+    assert j.is_sparse and j.is_variable
+    assert j.nnz_total() == 5
+    assert j.row_extent(0) == 2
+    assert j.row_extent(1) == 0
+    assert j.row_extent(2) == 3
+    assert j.row_start(2) == 2
+    assert j.position_to_coordinate(0, 1) == 3
+    assert j.position_to_coordinate(2, 0) == 0
+    assert j.coordinate_to_position(0, 3) == 1
+    assert j.coordinate_to_position(0, 2) == -1  # structural zero
+
+
+def test_sparse_variable_requires_consistent_indptr():
+    i = dense_fixed("I", 2)
+    with pytest.raises(ValueError):
+        sparse_variable("J", i, 4, 3, indptr=np.array([0, 2, 3]), indices=np.array([0, 1]))
+    with pytest.raises(ValueError):
+        sparse_variable("J", i, 4, 2, indptr=np.array([1, 2, 2]), indices=np.array([0, 1]))
+    with pytest.raises(ValueError):
+        sparse_variable("J", i, 4, 2, indptr=np.array([0, 2, 1]), indices=np.array([0, 1]))
+
+
+def test_sparse_variable_without_data_raises_on_queries():
+    i = dense_fixed("I", 2)
+    j = sparse_variable("J", i, 4, 6)
+    with pytest.raises(ValueError):
+        j.row_extent(0)
+    with pytest.raises(ValueError):
+        j.position_to_coordinate(0, 0)
+
+
+def test_dense_variable_ragged_rows():
+    i = dense_fixed("I", 3)
+    indptr = np.array([0, 1, 4, 6])
+    j = dense_variable("J", i, 3, 6, indptr=indptr)
+    assert j.is_dense and j.is_variable
+    assert j.row_extent(1) == 3
+    assert j.position_to_coordinate(1, 2) == 2
+    assert j.coordinate_to_position(1, 2) == 2
+    assert j.coordinate_to_position(1, 3) == -1
+
+
+def test_sparse_fixed_ell_axis():
+    i = dense_fixed("I", 2)
+    indices = np.array([1, 3, 0, 2])  # two rows, two slots each
+    j = sparse_fixed("J", i, 4, 2, indices=indices)
+    assert j.is_sparse and j.is_fixed
+    assert j.nnz_total() == 4
+    assert j.row_extent(0) == 2
+    assert j.position_to_coordinate(1, 0) == 0
+    assert j.coordinate_to_position(0, 3) == 1
+    assert j.coordinate_to_position(0, 2) == -1
+
+
+def test_ancestors_chain_and_depth(csr_axes):
+    i, j = csr_axes
+    k = dense_fixed("K", 7)
+    assert i.ancestors() == [i]
+    assert j.ancestors() == [i, j]
+    assert j.depth() == 1
+    assert k.depth() == 0
+
+
+def test_axis_repr_mentions_kind(csr_axes):
+    i, j = csr_axes
+    assert "dense_fixed" in repr(i)
+    assert "sparse_variable" in repr(j)
+
+
+def test_constructors_return_expected_types():
+    i = dense_fixed("I", 4)
+    assert isinstance(i, DenseFixedAxis)
+    assert isinstance(dense_variable("D", i, 4, 8), DenseVariableAxis)
+    assert isinstance(sparse_fixed("S", i, 4, 2), SparseFixedAxis)
+    assert isinstance(sparse_variable("V", i, 4, 8), SparseVariableAxis)

@@ -1,0 +1,127 @@
+"""Unit tests for sparse buffers and flat-size computation."""
+
+import numpy as np
+import pytest
+
+from repro.core.axes import dense_fixed, dense_variable, sparse_fixed, sparse_variable
+from repro.core.buffers import FlatBuffer, SparseBuffer, dtype_bytes, match_sparse_buffer
+
+
+def make_csr_axes(rows=4, cols=6, nnz=7):
+    i = dense_fixed("I", rows)
+    indptr = np.array([0, 2, 3, 5, 7])
+    indices = np.array([0, 3, 1, 2, 5, 0, 4])
+    j = sparse_variable("J", i, cols, nnz, indptr=indptr, indices=indices)
+    return i, j
+
+
+def test_dense_buffer_flat_size():
+    i = dense_fixed("I", 4)
+    k = dense_fixed("K", 8)
+    buf = SparseBuffer("C", [i, k])
+    assert buf.flat_size() == 32
+    assert buf.shape_dense() == (4, 8)
+    assert buf.is_dense()
+
+
+def test_csr_buffer_flat_size_equals_nnz():
+    i, j = make_csr_axes()
+    buf = SparseBuffer("A", [i, j])
+    assert buf.flat_size() == 7
+    assert not buf.is_dense()
+
+
+def test_bsr_buffer_flat_size():
+    io = dense_fixed("IO", 3)
+    jo = sparse_variable("JO", io, 5, 4, indptr=np.array([0, 1, 3, 4]), indices=np.array([0, 1, 2, 4]))
+    ii = dense_fixed("II", 2)
+    ji = dense_fixed("JI", 2)
+    buf = SparseBuffer("A_bsr", [io, jo, ii, ji])
+    assert buf.flat_size() == 4 * 2 * 2
+
+
+def test_ell_buffer_flat_size():
+    i = dense_fixed("I", 5)
+    j = sparse_fixed("J", i, 10, 3)
+    buf = SparseBuffer("A_ell", [i, j])
+    assert buf.flat_size() == 15
+
+
+def test_ragged_buffer_flat_size():
+    i = dense_fixed("I", 3)
+    j = dense_variable("J", i, 4, 9, indptr=np.array([0, 4, 6, 9]))
+    buf = SparseBuffer("R", [i, j])
+    assert buf.flat_size() == 9
+
+
+def test_srbcrs_style_buffer_flat_size():
+    i0 = dense_fixed("I0", 2)
+    i1 = dense_variable("I1", i0, 4, 5, indptr=np.array([0, 2, 5]))
+    j = sparse_fixed("JJ", i1, 16, 4)
+    t = dense_fixed("T", 8)
+    buf = SparseBuffer("W", [i0, i1, j, t])
+    assert buf.flat_size() == 5 * 4 * 8
+
+
+def test_allocate_and_bind():
+    i, j = make_csr_axes()
+    buf = SparseBuffer("A", [i, j])
+    data = buf.allocate(fill=1.5)
+    assert data.shape == (7,)
+    assert np.all(data == 1.5)
+    buf.bind(np.arange(7, dtype=np.float32))
+    assert buf.data[3] == 3.0
+
+
+def test_bind_rejects_wrong_size():
+    i, j = make_csr_axes()
+    buf = SparseBuffer("A", [i, j])
+    with pytest.raises(ValueError):
+        buf.bind(np.zeros(6, dtype=np.float32))
+
+
+def test_nbytes_uses_dtype():
+    i = dense_fixed("I", 10)
+    assert SparseBuffer("A", [i], dtype="float32").nbytes() == 40
+    assert SparseBuffer("B", [i], dtype="float16").nbytes() == 20
+    assert SparseBuffer("C", [i], dtype="int64").nbytes() == 80
+
+
+def test_buffer_requires_axes():
+    with pytest.raises(ValueError):
+        SparseBuffer("A", [])
+
+
+def test_getitem_builds_load_with_right_arity():
+    i, j = make_csr_axes()
+    buf = SparseBuffer("A", [i, j])
+    from repro.core.expr import Var
+
+    load = buf[Var("i"), Var("j")]
+    assert load.buffer is buf
+    assert len(load.indices) == 2
+
+
+def test_match_sparse_buffer_binds_data():
+    i, j = make_csr_axes()
+    buf = match_sparse_buffer("A", [i, j], data=np.ones(7))
+    assert buf.data is not None and buf.data.dtype == np.float32
+
+
+def test_flat_buffer_basics():
+    flat = FlatBuffer("x", 16, "float32")
+    assert flat.nbytes() == 64
+    from repro.core.expr import Var
+
+    load = flat[Var("i")]
+    assert load.buffer is flat
+    with pytest.raises(ValueError):
+        _ = flat[(Var("i"), Var("j"))]
+
+
+def test_dtype_bytes_table():
+    assert dtype_bytes("float64") == 8
+    assert dtype_bytes("float16") == 2
+    assert dtype_bytes("int8") == 1
+    with pytest.raises(ValueError):
+        dtype_bytes("complex64")

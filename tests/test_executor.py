@@ -1,0 +1,110 @@
+"""Unit tests for the NumPy executor."""
+
+import numpy as np
+import pytest
+
+from repro.core import build
+from repro.core.program import STAGE_LOOP
+from repro.runtime.executor import Executor, run_primfunc
+from repro.formats import CSRMatrix, ELLMatrix
+from repro.ops.sddmm import build_sddmm_program, sddmm_reference
+from repro.ops.spmm import build_spmm_hyb_program, build_spmm_program, spmm_reference
+from repro.formats.hyb import HybFormat
+
+
+def test_executor_requires_stage3(small_csr, rng):
+    func = build_spmm_program(small_csr, 2, rng.standard_normal((small_csr.cols, 2)).astype(np.float32))
+    with pytest.raises(ValueError):
+        Executor(func)
+
+
+def test_run_primfunc_lowers_automatically(small_csr, rng):
+    features = rng.standard_normal((small_csr.cols, 4)).astype(np.float32)
+    func = build_spmm_program(small_csr, 4, features)
+    out = run_primfunc(func)
+    reference = spmm_reference(small_csr, features)
+    assert np.allclose(out["C"].reshape(reference.shape), reference, atol=1e-4)
+
+
+def test_bindings_override_buffer_data(small_csr, rng):
+    features = rng.standard_normal((small_csr.cols, 4)).astype(np.float32)
+    func = build_spmm_program(small_csr, 4, features)
+    kernel = build(func)
+    other = rng.standard_normal((small_csr.cols, 4)).astype(np.float32)
+    out = kernel.run({"B": other.reshape(-1)})
+    reference = spmm_reference(small_csr, other)
+    assert np.allclose(out["C"].reshape(reference.shape), reference, atol=1e-4)
+
+
+def test_binding_size_mismatch_raises(small_csr, rng):
+    features = rng.standard_normal((small_csr.cols, 4)).astype(np.float32)
+    kernel = build(build_spmm_program(small_csr, 4, features))
+    with pytest.raises(ValueError):
+        kernel.run({"B": np.zeros(3, dtype=np.float32)})
+
+
+def test_unbound_output_defaults_to_zeros(small_csr, rng):
+    features = rng.standard_normal((small_csr.cols, 4)).astype(np.float32)
+    kernel = build(build_spmm_program(small_csr, 4, features))
+    out = kernel.run()
+    assert out["C"].shape == (small_csr.rows * 4,)
+
+
+def test_structural_zero_loads_read_as_zero(tiny_csr):
+    """Padded ELL slots (column -1) contribute nothing to the computation."""
+    ell = ELLMatrix.from_csr(tiny_csr)
+    assert (ell.indices == -1).any()  # padding exists
+    rng = np.random.default_rng(0)
+    features = rng.standard_normal((tiny_csr.cols, 3)).astype(np.float32)
+    hyb = HybFormat.from_csr(tiny_csr, num_col_parts=1)
+    func = build_spmm_hyb_program(hyb, 3, features)
+    out = build(func).run()
+    reference = spmm_reference(tiny_csr, features)
+    assert np.allclose(out["C"].reshape(reference.shape), reference, atol=1e-4)
+
+
+def test_hyb_program_with_column_partitions(tiny_csr, rng):
+    features = rng.standard_normal((tiny_csr.cols, 3)).astype(np.float32)
+    hyb = HybFormat.from_csr(tiny_csr, num_col_parts=2)
+    func = build_spmm_hyb_program(hyb, 3, features)
+    out = build(func).run()
+    reference = spmm_reference(tiny_csr, features)
+    assert np.allclose(out["C"].reshape(reference.shape), reference, atol=1e-4)
+
+
+def test_reduction_init_runs_before_accumulation(small_csr, rng):
+    """Rows with non-zeros are re-initialised even when stale data is bound.
+
+    Like TensorIR, the init of a reduction block only runs for output
+    elements whose reduction domain is non-empty, so completely empty rows
+    keep whatever the output buffer already contained.
+    """
+    features = rng.standard_normal((small_csr.cols, 4)).astype(np.float32)
+    kernel = build(build_spmm_program(small_csr, 4, features))
+    stale = np.full(small_csr.rows * 4, 123.0, dtype=np.float32)
+    out = kernel.run({"C": stale})
+    reference = spmm_reference(small_csr, features)
+    result = out["C"].reshape(reference.shape)
+    lengths = small_csr.row_lengths()
+    nonempty = lengths > 0
+    assert np.allclose(result[nonempty], reference[nonempty], atol=1e-4)
+    assert np.all(result[~nonempty] == 123.0)
+
+
+def test_sddmm_executor_matches_reference(small_csr, rng):
+    x = rng.standard_normal((small_csr.rows, 5)).astype(np.float32)
+    y = rng.standard_normal((5, small_csr.cols)).astype(np.float32)
+    func = build_sddmm_program(small_csr, 5, x, y)
+    out = build(func).run()
+    assert np.allclose(out["OUT"], sddmm_reference(small_csr, x, y), atol=1e-4)
+
+
+def test_empty_rows_produce_zero_output(rng):
+    dense = np.zeros((4, 4), dtype=np.float32)
+    dense[1, 2] = 3.0
+    csr = CSRMatrix.from_dense(dense)
+    features = rng.standard_normal((4, 2)).astype(np.float32)
+    out = run_primfunc(build_spmm_program(csr, 2, features))
+    result = out["C"].reshape(4, 2)
+    assert np.allclose(result[0], 0.0)
+    assert np.allclose(result[1], 3.0 * features[2], atol=1e-5)

@@ -1,0 +1,213 @@
+"""Unit tests for the expression IR."""
+
+import pytest
+
+from repro.core.expr import (
+    Add,
+    BufferLoad,
+    Call,
+    Cast,
+    EQ,
+    FloatImm,
+    FloorDiv,
+    FloorMod,
+    GE,
+    GT,
+    IntImm,
+    LE,
+    LT,
+    Max,
+    Min,
+    Mul,
+    NE,
+    Not,
+    Select,
+    StringImm,
+    Sub,
+    Var,
+    collect_vars,
+    post_order,
+    simplify,
+    structural_equal,
+    substitute,
+    wrap,
+)
+from repro.core.buffers import SparseBuffer
+from repro.core.axes import dense_fixed
+
+
+def test_wrap_int_and_float():
+    assert isinstance(wrap(3), IntImm)
+    assert wrap(3).value == 3
+    assert isinstance(wrap(2.5), FloatImm)
+    assert wrap(2.5).value == 2.5
+
+
+def test_wrap_bool_and_passthrough():
+    b = wrap(True)
+    assert isinstance(b, IntImm) and b.dtype == "bool"
+    v = Var("x")
+    assert wrap(v) is v
+
+
+def test_wrap_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        wrap("not an expr")
+    with pytest.raises(TypeError):
+        wrap([1, 2, 3])
+
+
+def test_operator_sugar_builds_nodes():
+    x, y = Var("x"), Var("y")
+    assert isinstance(x + y, Add)
+    assert isinstance(x - y, Sub)
+    assert isinstance(x * y, Mul)
+    assert isinstance(x // y, FloorDiv)
+    assert isinstance(x % y, FloorMod)
+    assert isinstance(x < y, LT)
+    assert isinstance(x <= y, LE)
+    assert isinstance(x > y, GT)
+    assert isinstance(x >= y, GE)
+    assert isinstance(x.equal(y), EQ)
+    assert isinstance(x.not_equal(y), NE)
+
+
+def test_reflected_operators_wrap_scalars():
+    x = Var("x")
+    expr = 3 + x
+    assert isinstance(expr, Add)
+    assert isinstance(expr.a, IntImm) and expr.a.value == 3
+    expr2 = 2 * x
+    assert isinstance(expr2, Mul)
+
+
+def test_var_identity_semantics():
+    a = Var("i")
+    b = Var("i")
+    assert a == a
+    assert a != b
+    assert len({a, b}) == 2
+
+
+def test_binary_dtype_promotion():
+    i = Var("i", "int32")
+    f = FloatImm(1.0)
+    assert (i + f).dtype == "float32"
+    assert (i + IntImm(1)).dtype == "int32"
+    assert (i < IntImm(3)).dtype == "bool"
+
+
+def test_post_order_and_collect_vars():
+    x, y = Var("x"), Var("y")
+    expr = (x + y) * x
+    nodes = list(post_order(expr))
+    assert nodes[-1] is expr
+    assert collect_vars(expr) == (x, y)
+
+
+def test_collect_vars_through_buffer_load():
+    axis = dense_fixed("I", 4)
+    buf = SparseBuffer("A", [axis])
+    i = Var("i")
+    expr = buf[i] + 1.0
+    assert collect_vars(expr) == (i,)
+
+
+def test_substitute_replaces_vars():
+    x, y, z = Var("x"), Var("y"), Var("z")
+    expr = x + y * 2
+    out = substitute(expr, {x: z, y: IntImm(5)})
+    assert structural_equal(out, z + IntImm(5) * 2)
+
+
+def test_substitute_inside_call_and_select():
+    x, y = Var("x"), Var("y")
+    expr = Select(x < 3, Call("f", [x]), Cast(x, "float32"))
+    out = substitute(expr, {x: y})
+    assert collect_vars(out) == (y,)
+
+
+def test_structural_equal_basics():
+    x, y = Var("x"), Var("y")
+    assert structural_equal(x + 1, x + 1)
+    assert not structural_equal(x + 1, y + 1)
+    assert not structural_equal(x + 1, x + 2)
+    assert not structural_equal(x + 1, x * 1)
+
+
+def test_structural_equal_buffer_loads():
+    axis = dense_fixed("I", 4)
+    a = SparseBuffer("A", [axis])
+    b = SparseBuffer("B", [axis])
+    i = Var("i")
+    assert structural_equal(a[i], a[i])
+    assert not structural_equal(a[i], b[i])
+
+
+def test_simplify_constant_folding():
+    assert simplify(wrap(2) + wrap(3)).value == 5
+    assert simplify(wrap(2) * wrap(3)).value == 6
+    assert simplify(wrap(7) // wrap(2)).value == 3
+    assert simplify(wrap(7) % wrap(2)).value == 1
+
+
+def test_simplify_identities():
+    x = Var("x")
+    assert simplify(x + 0) is x
+    assert simplify(x * 1) is x
+    assert simplify(x * 0).value == 0
+    assert simplify(x // 1) is x
+    assert simplify(x % 1).value == 0
+    assert simplify(x - 0) is x
+
+
+def test_simplify_select_with_constant_condition():
+    x, y = Var("x"), Var("y")
+    assert simplify(Select(wrap(1), x, y)) is x
+    assert simplify(Select(wrap(0), x, y)) is y
+
+
+def test_simplify_recurses_into_buffer_load_indices():
+    axis = dense_fixed("I", 4)
+    buf = SparseBuffer("A", [axis])
+    load = BufferLoad(buf, [Var("i") + 0])
+    out = simplify(load)
+    assert isinstance(out.indices[0], Var)
+
+
+def test_min_max_nodes_fold():
+    assert simplify(Min(wrap(2), wrap(5))).value == 2
+    assert simplify(Max(wrap(2), wrap(5))).value == 5
+
+
+def test_not_folding():
+    assert simplify(Not(wrap(0))).value == 1
+    assert simplify(Not(wrap(5))).value == 0
+
+
+def test_call_repr_and_args_wrapping():
+    call = Call("binary_search", [StringImm("J"), 1, Var("c")])
+    assert call.func == "binary_search"
+    assert isinstance(call.args[1], IntImm)
+    assert "binary_search" in repr(call)
+
+
+def test_buffer_load_checks_arity():
+    axis = dense_fixed("I", 4)
+    buf = SparseBuffer("A", [axis, dense_fixed("K", 3)])
+    with pytest.raises(ValueError):
+        _ = buf[Var("i")]
+
+
+def test_cast_dtype():
+    x = Var("x")
+    cast = Cast(x, "float32")
+    assert cast.dtype == "float32"
+    assert "cast" in repr(cast)
+
+
+def test_negation_builds_subtraction():
+    x = Var("x", "int32")
+    neg = -x
+    assert isinstance(neg, Sub)
+    assert isinstance(neg.a, IntImm) and neg.a.value == 0

@@ -1,0 +1,133 @@
+"""Unit tests for format decomposition (FormatRewriteRule / decompose_format)."""
+
+import numpy as np
+import pytest
+
+from repro.core import build, decompose_format
+from repro.core.stage1.format_rewrite import FormatRewriteRule
+from repro.formats import BSRMatrix, CSRMatrix, ELLMatrix
+from repro.formats.conversion import bsr_rewrite_rule, ell_rewrite_rule, split_csr_for_composition
+from repro.ops.spmm import build_spmm_program, spmm_reference
+
+
+@pytest.fixture
+def block_plus_scatter_matrix(rng):
+    dense = np.zeros((16, 16), dtype=np.float32)
+    dense[:4, :8] = rng.random((4, 8))                 # block-friendly region
+    scattered = rng.random((12, 16)) < 0.1
+    dense[4:, :] = scattered * rng.random((12, 16))    # light remainder
+    return CSRMatrix.from_dense(dense)
+
+
+def test_ell_conversion_preserves_spmm(block_plus_scatter_matrix, rng):
+    csr = block_plus_scatter_matrix
+    feat = 4
+    features = rng.standard_normal((csr.cols, feat)).astype(np.float32)
+    program = build_spmm_program(csr, feat, features)
+    ell = ELLMatrix.from_csr(csr)
+    converted = decompose_format(program, [ell_rewrite_rule(ell)])
+    out = build(converted).run()
+    reference = spmm_reference(csr, features)
+    assert np.allclose(out["C"].reshape(reference.shape), reference, atol=1e-4)
+
+
+def test_bsr_conversion_preserves_spmm(block_plus_scatter_matrix, rng):
+    csr = block_plus_scatter_matrix
+    feat = 4
+    features = rng.standard_normal((csr.cols, feat)).astype(np.float32)
+    program = build_spmm_program(csr, feat, features)
+    bsr = BSRMatrix.from_csr(csr, 4)
+    converted = decompose_format(program, [bsr_rewrite_rule(bsr)])
+    out = build(converted).run()
+    reference = spmm_reference(csr, features)
+    assert np.allclose(out["C"].reshape(reference.shape), reference, atol=1e-4)
+
+
+def test_bsr_plus_ell_decomposition_matches_figure5(block_plus_scatter_matrix, rng):
+    csr = block_plus_scatter_matrix
+    feat = 3
+    features = rng.standard_normal((csr.cols, feat)).astype(np.float32)
+    bsr, ell, _, _ = split_csr_for_composition(csr, block_size=4, ell_width=4)
+    program = build_spmm_program(csr, feat, features)
+    decomposed = decompose_format(program, [bsr_rewrite_rule(bsr), ell_rewrite_rule(ell)])
+
+    # Structure: 2 copy iterations + 2 compute iterations, original removed.
+    names = [it.name for it in decomposed.sparse_iterations()]
+    assert sum(name.startswith("copy_") for name in names) == 2
+    assert sum(name.startswith("spmm_") for name in names) == 2
+    assert "spmm" not in names
+
+    out = build(decomposed).run()
+    reference = spmm_reference(csr, features)
+    assert np.allclose(out["C"].reshape(reference.shape), reference, atol=1e-4)
+
+
+def test_decompose_format_records_attr(block_plus_scatter_matrix, rng):
+    csr = block_plus_scatter_matrix
+    program = build_spmm_program(csr, 2, np.zeros((csr.cols, 2), dtype=np.float32))
+    ell = ELLMatrix.from_csr(csr)
+    converted = decompose_format(program, [ell_rewrite_rule(ell)])
+    assert converted.attrs["composable_formats"] == [f"ell_{ell.nnz_cols}"]
+
+
+def test_decompose_format_requires_matching_buffer(block_plus_scatter_matrix):
+    csr = block_plus_scatter_matrix
+    program = build_spmm_program(csr, 2, np.zeros((csr.cols, 2), dtype=np.float32))
+    ell = ELLMatrix.from_csr(csr)
+    rule = ell_rewrite_rule(ell, buffer_name="B")  # B is dense, never rewritten
+    with pytest.raises(KeyError):
+        decompose_format(program, [ell_rewrite_rule(ell, buffer_name="ZZZ")])
+    # B exists but no sparse iteration is removed because the rewrite of B is
+    # not what the rule's axis mapping describes; mixing buffers across rules
+    # is rejected explicitly:
+    with pytest.raises(ValueError):
+        decompose_format(program, [ell_rewrite_rule(ell, buffer_name="A"), rule])
+
+
+def test_decompose_format_rejects_empty_rules(block_plus_scatter_matrix):
+    program = build_spmm_program(block_plus_scatter_matrix, 2,
+                                 np.zeros((block_plus_scatter_matrix.cols, 2), dtype=np.float32))
+    with pytest.raises(ValueError):
+        decompose_format(program, [])
+
+
+def test_decompose_format_requires_stage1(block_plus_scatter_matrix):
+    from repro.core import lower_sparse_iterations
+
+    csr = block_plus_scatter_matrix
+    program = build_spmm_program(csr, 2, np.zeros((csr.cols, 2), dtype=np.float32))
+    ell = ELLMatrix.from_csr(csr)
+    with pytest.raises(ValueError):
+        decompose_format(lower_sparse_iterations(program), [ell_rewrite_rule(ell)])
+
+
+def test_include_copy_false_skips_copy_iterations(block_plus_scatter_matrix, rng):
+    csr = block_plus_scatter_matrix
+    ell = ELLMatrix.from_csr(csr)
+    program = build_spmm_program(csr, 2, rng.standard_normal((csr.cols, 2)).astype(np.float32))
+    converted = decompose_format(program, [ell_rewrite_rule(ell)], include_copy=False)
+    names = [it.name for it in converted.sparse_iterations()]
+    assert not any(name.startswith("copy_") for name in names)
+
+
+def test_format_rewrite_rule_validation(block_plus_scatter_matrix):
+    ell = ELLMatrix.from_csr(block_plus_scatter_matrix)
+    i_axis, j_axis = ell.to_axes()
+    with pytest.raises(ValueError):
+        FormatRewriteRule(
+            "bad", [i_axis, j_axis], "A", ["I", "J"],
+            {"I": [i_axis.name], "Z": [j_axis.name]},
+            lambda i, j: (i, j), lambda i, j: (i, j),
+        )
+    with pytest.raises(ValueError):
+        FormatRewriteRule(
+            "bad", [i_axis, j_axis], "A", ["I", "J"],
+            {"I": ["missing"], "J": [j_axis.name]},
+            lambda i, j: (i, j), lambda i, j: (i, j),
+        )
+    with pytest.raises(ValueError):
+        FormatRewriteRule(
+            "bad", [i_axis, j_axis], "A", ["I", "J"],
+            {"I": [i_axis.name], "J": [i_axis.name]},
+            lambda i, j: (i, j), lambda i, j: (i, j),
+        )

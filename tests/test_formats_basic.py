@@ -1,0 +1,156 @@
+"""Unit tests for CSR / CSC / COO / DIA / ragged / CSF formats."""
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    COOMatrix,
+    CSCMatrix,
+    CSFTensor,
+    CSRMatrix,
+    DIAMatrix,
+    RaggedTensor,
+)
+
+
+class TestCSR:
+    def test_round_trip_dense(self, small_csr):
+        dense = small_csr.to_dense()
+        again = CSRMatrix.from_dense(dense)
+        assert np.allclose(again.to_dense(), dense)
+
+    def test_row_lengths_and_density(self, tiny_csr):
+        assert list(tiny_csr.row_lengths()) == [2, 0, 2, 2]
+        assert tiny_csr.max_row_length() == 2
+        assert tiny_csr.mean_row_length() == pytest.approx(1.5)
+        assert tiny_csr.density == pytest.approx(6 / 16)
+
+    def test_validation_rejects_bad_indptr(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 1]), np.array([0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 2, 1]), np.array([0, 1]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 1, 2]), np.array([0, 5]), np.array([1.0, 1.0]))
+
+    def test_random_matches_requested_density(self):
+        csr = CSRMatrix.random(50, 40, density=0.1, seed=3)
+        assert 0.05 < csr.density < 0.15
+
+    def test_transpose(self, tiny_csr):
+        assert np.allclose(tiny_csr.transpose().to_dense(), tiny_csr.to_dense().T)
+
+    def test_column_partition_covers_all_columns(self, small_csr):
+        parts = small_csr.column_partition(4)
+        total = sum(p.nnz for p in parts if p is not None)
+        assert total == small_csr.nnz
+
+    def test_to_axes_carry_structure(self, tiny_csr):
+        i_axis, j_axis = tiny_csr.to_axes()
+        assert i_axis.length == 4
+        assert j_axis.nnz_total() == tiny_csr.nnz
+        assert j_axis.parent is i_axis
+
+    def test_nbytes(self, tiny_csr):
+        assert tiny_csr.nbytes() == (5 + 6) * 4 + 6 * 4
+
+
+class TestCSC:
+    def test_round_trip(self, small_csr):
+        csc = CSCMatrix.from_csr(small_csr)
+        assert np.allclose(csc.to_dense(), small_csr.to_dense())
+        assert csc.nnz == small_csr.nnz
+
+    def test_col_lengths(self, tiny_csr):
+        csc = CSCMatrix.from_csr(tiny_csr)
+        assert csc.col_lengths().sum() == tiny_csr.nnz
+
+    def test_back_to_csr(self, small_csr):
+        assert np.allclose(CSCMatrix.from_csr(small_csr).to_csr().to_dense(), small_csr.to_dense())
+
+    def test_axes(self, tiny_csr):
+        j_axis, i_axis = CSCMatrix.from_csr(tiny_csr).to_axes()
+        assert j_axis.length == tiny_csr.cols
+        assert i_axis.parent is j_axis
+
+
+class TestCOO:
+    def test_round_trip(self, small_csr):
+        coo = COOMatrix.from_csr(small_csr)
+        assert np.allclose(coo.to_dense(), small_csr.to_dense())
+        assert coo.nnz == small_csr.nnz
+
+    def test_sorted_by_row_then_col(self, small_csr):
+        coo = COOMatrix.from_csr(small_csr)
+        order = np.lexsort((coo.col, coo.row))
+        assert np.array_equal(order, np.arange(coo.nnz))
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix((2, 2), np.array([0]), np.array([0, 1]))
+
+    def test_nbytes(self, tiny_csr):
+        assert COOMatrix.from_csr(tiny_csr).nbytes() == 6 * 12
+
+
+class TestDIA:
+    def test_band_matrix_structure(self):
+        dia = DIAMatrix.band(size=16, bandwidth=2)
+        dense = dia.to_dense()
+        assert dense[0, 0] == 1.0
+        assert dense[0, 2] == 1.0
+        assert dense[0, 3] == 0.0
+        assert dia.num_diagonals == 5
+
+    def test_round_trip_with_csr(self, tiny_csr):
+        dia = DIAMatrix.from_csr(tiny_csr)
+        assert np.allclose(dia.to_dense(), tiny_csr.to_dense())
+        assert np.allclose(dia.to_csr().to_dense(), tiny_csr.to_dense())
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            DIAMatrix((4, 4), np.array([0, 1]), np.zeros((3, 4), dtype=np.float32))
+
+
+class TestRagged:
+    def test_from_rows_and_padding(self):
+        ragged = RaggedTensor.from_rows([[1.0, 2.0], [3.0], [], [4.0, 5.0, 6.0]])
+        assert ragged.num_rows == 4
+        assert ragged.nnz == 6
+        padded = ragged.to_padded()
+        assert padded.shape == (4, 3)
+        assert padded[2].sum() == 0.0
+        assert 0.0 < ragged.padding_ratio() < 1.0
+
+    def test_row_access(self):
+        ragged = RaggedTensor.from_rows([[1.0, 2.0], [3.0]])
+        assert list(ragged.row(0)) == [1.0, 2.0]
+
+    def test_value_length_validation(self):
+        with pytest.raises(ValueError):
+            RaggedTensor([2, 2], np.zeros(3, dtype=np.float32))
+
+    def test_axes(self):
+        ragged = RaggedTensor.from_rows([[1.0], [2.0, 3.0]])
+        i_axis, j_axis = ragged.to_axes()
+        assert i_axis.length == 2
+        assert j_axis.nnz_total() == 3
+
+
+class TestCSF:
+    def test_from_dense_round_trip(self, rng):
+        dense = (rng.random((3, 5, 6)) < 0.2).astype(np.float32)
+        csf = CSFTensor.from_dense(dense)
+        assert csf.num_slices == 3
+        assert csf.nnz == int(dense.sum())
+        assert np.allclose(csf.to_dense(), dense)
+
+    def test_slice_nnz_and_nbytes(self, rng):
+        dense = (rng.random((2, 4, 4)) < 0.3).astype(np.float32)
+        csf = CSFTensor.from_dense(dense)
+        assert csf.slice_nnz().sum() == csf.nnz
+        assert csf.nbytes() > 0
+
+    def test_shape_validation(self, tiny_csr):
+        with pytest.raises(ValueError):
+            CSFTensor((2, 4, 4), [tiny_csr])

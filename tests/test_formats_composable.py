@@ -1,0 +1,165 @@
+"""Unit tests for the composable / specialised formats: BSR, ELL, hyb, DBSR, SR-BCRS."""
+
+import numpy as np
+import pytest
+
+from repro.formats import BSRMatrix, CSRMatrix, DBSRMatrix, ELLMatrix, HybFormat, SRBCRSMatrix
+from repro.formats.padding import padded_flops_inflation, padding_ratio_hyb, padding_ratio_percent
+
+
+class TestBSR:
+    def test_round_trip(self, small_csr):
+        bsr = BSRMatrix.from_csr(small_csr, 4)
+        assert np.allclose(bsr.to_dense()[: small_csr.rows, : small_csr.cols], small_csr.to_dense())
+
+    def test_block_counts_and_density(self, small_csr):
+        bsr = BSRMatrix.from_csr(small_csr, 4)
+        assert bsr.nnz == small_csr.nnz
+        assert bsr.nnz_stored == bsr.num_blocks * 16
+        assert 0.0 < bsr.block_density <= 1.0
+
+    def test_shape_padding_for_non_divisible(self):
+        csr = CSRMatrix.random(10, 10, 0.3, seed=1)
+        bsr = BSRMatrix.from_csr(csr, 4)
+        assert bsr.shape == (12, 12)
+
+    def test_axes_shapes(self, small_csr):
+        bsr = BSRMatrix.from_csr(small_csr, 4)
+        io, jo, ii, ji = bsr.to_axes()
+        assert io.length == bsr.block_rows
+        assert jo.nnz_total() == bsr.num_blocks
+        assert ii.length == ji.length == 4
+
+    def test_invalid_block_shape(self):
+        with pytest.raises(ValueError):
+            BSRMatrix((10, 10), 3, np.array([0]), np.array([]), None)
+
+
+class TestELL:
+    def test_from_csr_and_round_trip(self, tiny_csr):
+        ell = ELLMatrix.from_csr(tiny_csr)
+        assert ell.nnz_cols == tiny_csr.max_row_length()
+        assert np.allclose(ell.to_dense(), tiny_csr.to_dense())
+
+    def test_padding_ratio(self, tiny_csr):
+        ell = ELLMatrix.from_csr(tiny_csr)
+        assert ell.nnz == tiny_csr.nnz
+        assert ell.padding_ratio == pytest.approx(1 - tiny_csr.nnz / ell.stored)
+
+    def test_width_too_small_rejected(self, tiny_csr):
+        with pytest.raises(ValueError):
+            ELLMatrix.from_csr(tiny_csr, nnz_cols=1)
+
+    def test_row_map_validation(self):
+        with pytest.raises(ValueError):
+            ELLMatrix((4, 4), np.full((2, 2), -1), row_map=np.array([0, 1, 2]))
+
+
+class TestHyb:
+    def test_preserves_values(self, small_csr):
+        hyb = HybFormat.from_csr(small_csr, num_col_parts=2)
+        assert np.allclose(hyb.to_dense(), small_csr.to_dense())
+        assert hyb.nnz == small_csr.nnz
+
+    def test_bucket_widths_are_powers_of_two(self, small_csr):
+        hyb = HybFormat.from_csr(small_csr, num_col_parts=1, num_buckets=3)
+        assert hyb.bucket_widths == [1, 2, 4]
+        assert all(b.width in (1, 2, 4) for b in hyb.buckets)
+
+    def test_long_rows_are_split(self):
+        dense = np.zeros((4, 32), dtype=np.float32)
+        dense[0, :] = 1.0  # one very long row
+        hyb = HybFormat.from_csr(CSRMatrix.from_dense(dense), num_buckets=2)
+        widest = [b for b in hyb.buckets if b.width == 2]
+        assert widest and widest[0].num_rows == 16  # 32 nnz split into 16 rows of width 2
+        assert np.allclose(hyb.to_dense(), dense)
+
+    def test_rows_assigned_to_matching_bucket(self, small_csr):
+        hyb = HybFormat.from_csr(small_csr, num_col_parts=1)
+        for bucket in hyb.buckets:
+            lengths = (bucket.ell.indices >= 0).sum(axis=1)
+            assert lengths.max() <= bucket.width
+            if bucket.width > 1:
+                assert lengths.min() > bucket.width // 2 or bucket.width == hyb.bucket_widths[-1]
+
+    def test_padding_ratio_and_summary(self, small_csr):
+        hyb = HybFormat.from_csr(small_csr, num_col_parts=2)
+        assert 0.0 <= hyb.padding_ratio < 1.0
+        summary = hyb.bucket_summary()
+        assert sum(entry["nnz"] for entry in summary) == small_csr.nnz
+
+    def test_invalid_parameters(self, small_csr):
+        with pytest.raises(ValueError):
+            HybFormat(small_csr, 0, [1, 2])
+        with pytest.raises(ValueError):
+            HybFormat(small_csr, 1, [])
+
+
+class TestDBSR:
+    def test_round_trip(self, rng):
+        dense = np.zeros((16, 16), dtype=np.float32)
+        dense[0:4, 4:8] = rng.random((4, 4))
+        dense[8:12, 0:4] = rng.random((4, 4))
+        csr = CSRMatrix.from_dense(dense)
+        dbsr = DBSRMatrix.from_csr(csr, 4)
+        assert np.allclose(dbsr.to_dense(), dense)
+
+    def test_empty_block_rows_skipped(self, rng):
+        dense = np.zeros((16, 16), dtype=np.float32)
+        dense[0:4, 4:8] = rng.random((4, 4))
+        dbsr = DBSRMatrix.from_csr(CSRMatrix.from_dense(dense), 4)
+        assert dbsr.num_stored_block_rows == 1
+        assert dbsr.num_block_rows == 4
+        assert dbsr.empty_block_row_fraction == pytest.approx(0.75)
+
+    def test_nbytes_smaller_than_bsr_for_empty_rows(self, rng):
+        dense = np.zeros((32, 32), dtype=np.float32)
+        dense[0:4, 0:4] = rng.random((4, 4))
+        csr = CSRMatrix.from_dense(dense)
+        bsr = BSRMatrix.from_csr(csr, 4)
+        dbsr = DBSRMatrix.from_bsr(bsr)
+        assert dbsr.nbytes() < bsr.nbytes()
+
+
+class TestSRBCRS:
+    def test_round_trip(self, rng):
+        dense = (rng.random((16, 24)) < 0.15).astype(np.float32) * rng.random((16, 24)).astype(np.float32)
+        csr = CSRMatrix.from_dense(dense)
+        sr = SRBCRSMatrix(csr, tile_rows=4, group_size=2)
+        assert np.allclose(sr.to_dense(), dense)
+
+    def test_occupancy_bounds(self, rng):
+        dense = (rng.random((16, 32)) < 0.1).astype(np.float32)
+        sr = SRBCRSMatrix(CSRMatrix.from_dense(dense), tile_rows=8, group_size=4)
+        assert 1.0 / sr.tile_rows <= sr.occupancy + 1e-9 <= 1.0
+
+    def test_new_format_density_at_least_original(self, rng):
+        dense = (rng.random((32, 64)) < 0.05).astype(np.float32)
+        csr = CSRMatrix.from_dense(dense)
+        sr = SRBCRSMatrix(csr, 8, 4)
+        assert sr.new_format_density >= csr.density - 1e-9
+
+    def test_less_fragmentation_than_bsr(self, rng):
+        """SR-BCRS stores fewer padded slots than BSR on unstructured sparsity."""
+        dense = (rng.random((64, 64)) < 0.03).astype(np.float32) * rng.random((64, 64)).astype(np.float32)
+        csr = CSRMatrix.from_dense(dense)
+        sr = SRBCRSMatrix(csr, 8, 4)
+        bsr = BSRMatrix.from_csr(csr, 8)
+        assert sr.nnz_stored <= bsr.nnz_stored
+
+    def test_invalid_parameters(self, tiny_csr):
+        with pytest.raises(ValueError):
+            SRBCRSMatrix(tiny_csr, 0, 4)
+
+
+class TestPaddingHelpers:
+    def test_padding_ratio_matches_hyb(self, small_csr):
+        ratio = padding_ratio_hyb(small_csr, num_col_parts=2)
+        assert ratio == pytest.approx(HybFormat.from_csr(small_csr, num_col_parts=2).padding_ratio)
+        assert padding_ratio_percent(small_csr, 2) == pytest.approx(100 * ratio)
+
+    def test_flops_inflation(self):
+        assert padded_flops_inflation(0.0) == 1.0
+        assert padded_flops_inflation(0.5) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            padded_flops_inflation(1.0)

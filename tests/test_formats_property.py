@@ -1,0 +1,88 @@
+"""Property-based tests of format conversions (hypothesis).
+
+Invariant: converting a matrix to any format and back to dense preserves the
+values exactly, and the padding/occupancy statistics respect their bounds.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.formats import (
+    BSRMatrix,
+    COOMatrix,
+    CSCMatrix,
+    CSRMatrix,
+    DBSRMatrix,
+    ELLMatrix,
+    HybFormat,
+    SRBCRSMatrix,
+)
+
+_SETTINGS = settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def dense_matrices(draw, max_dim=24):
+    rows = draw(st.integers(min_value=1, max_value=max_dim))
+    cols = draw(st.integers(min_value=1, max_value=max_dim))
+    density = draw(st.floats(min_value=0.0, max_value=0.5))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((rows, cols)) < density) * (rng.random((rows, cols)) + 0.1)
+    return dense.astype(np.float32)
+
+
+@given(dense=dense_matrices())
+@_SETTINGS
+def test_csr_csc_coo_round_trip(dense):
+    csr = CSRMatrix.from_dense(dense)
+    assert np.allclose(csr.to_dense(), dense)
+    assert np.allclose(CSCMatrix.from_csr(csr).to_dense(), dense)
+    assert np.allclose(COOMatrix.from_csr(csr).to_dense(), dense)
+    assert csr.nnz == int(np.count_nonzero(dense))
+
+
+@given(dense=dense_matrices())
+@_SETTINGS
+def test_ell_round_trip_and_padding_bounds(dense):
+    csr = CSRMatrix.from_dense(dense)
+    ell = ELLMatrix.from_csr(csr)
+    assert np.allclose(ell.to_dense(), dense)
+    assert 0.0 <= ell.padding_ratio <= 1.0
+    assert ell.nnz == csr.nnz
+
+
+@given(dense=dense_matrices(), block=st.sampled_from([2, 4]))
+@_SETTINGS
+def test_bsr_and_dbsr_round_trip(dense, block):
+    csr = CSRMatrix.from_dense(dense)
+    bsr = BSRMatrix.from_csr(csr, block)
+    assert np.allclose(bsr.to_dense()[: dense.shape[0], : dense.shape[1]], dense)
+    dbsr = DBSRMatrix.from_bsr(bsr)
+    assert np.allclose(dbsr.to_dense()[: dense.shape[0], : dense.shape[1]], dense)
+    assert dbsr.num_blocks == bsr.num_blocks
+
+
+@given(
+    dense=dense_matrices(),
+    parts=st.integers(min_value=1, max_value=4),
+    buckets=st.integers(min_value=1, max_value=4),
+)
+@_SETTINGS
+def test_hyb_round_trip_and_padding(dense, parts, buckets):
+    csr = CSRMatrix.from_dense(dense)
+    hyb = HybFormat.from_csr(csr, num_col_parts=parts, num_buckets=buckets)
+    assert np.allclose(hyb.to_dense(), dense, atol=1e-6)
+    assert hyb.nnz == csr.nnz
+    assert 0.0 <= hyb.padding_ratio < 1.0 or hyb.stored == 0
+
+
+@given(dense=dense_matrices(), tile=st.sampled_from([2, 4, 8]), group=st.sampled_from([2, 4]))
+@_SETTINGS
+def test_srbcrs_round_trip(dense, tile, group):
+    csr = CSRMatrix.from_dense(dense)
+    sr = SRBCRSMatrix(csr, tile, group)
+    assert np.allclose(sr.to_dense(), dense)
+    if sr.nnz_stored:
+        assert sr.nnz == csr.nnz

@@ -1,0 +1,140 @@
+"""Unit tests for the RGMS, sparse convolution and batched attention operators."""
+
+import numpy as np
+import pytest
+
+from repro.formats import BSRMatrix, CSRMatrix
+from repro.ops import batched, rgms, sparse_conv
+from repro.perf.device import V100
+from repro.perf.gpu_model import GPUModel
+from repro.workloads.attention import band_mask
+from repro.workloads.hetero_graphs import generate_relational_adjacency
+from repro.workloads.pointcloud import sparse_conv_problem, PointCloudConfig
+
+
+@pytest.fixture(scope="module")
+def small_relational():
+    return generate_relational_adjacency(num_nodes=64, num_edges=400, num_relations=5, seed=1)
+
+
+@pytest.fixture(scope="module")
+def small_conv_problem():
+    config = PointCloudConfig(num_points=400, voxel_size=1.0, seed=2)
+    return sparse_conv_problem(8, 16, config)
+
+
+class TestRGMS:
+    def test_fused_equals_two_stage(self, small_relational, rng):
+        x = rng.standard_normal((64, 8)).astype(np.float32)
+        w = rng.standard_normal((5, 8, 6)).astype(np.float32)
+        fused = rgms.rgms_reference(small_relational, x, w)
+        staged = rgms.rgms_two_stage_reference(small_relational, x, w)
+        assert np.allclose(fused, staged, atol=1e-4)
+        assert fused.shape == (64, 6)
+
+    def test_reference_validates_relation_count(self, small_relational, rng):
+        with pytest.raises(ValueError):
+            rgms.rgms_reference(small_relational, rng.standard_normal((64, 8)),
+                                rng.standard_normal((3, 8, 6)))
+
+    def test_fused_workload_has_no_intermediate(self, small_relational):
+        problem = rgms.RGMSProblem(small_relational, 16, 16)
+        fused = rgms.rgms_fused_hyb_workload(problem, V100)
+        staged = rgms.rgms_two_stage_workload(problem, V100)
+        assert staged.metadata["intermediate_bytes"] > 0
+        assert fused.memory_footprint_bytes < staged.memory_footprint_bytes
+
+    def test_hyb_and_tensor_cores_both_help(self):
+        # Use a graph large enough to fill the device; on tiny problems the
+        # single-block critical path dominates and bucketing cannot help.
+        adjacency = generate_relational_adjacency(
+            num_nodes=512, num_edges=8000, num_relations=8, seed=3
+        )
+        problem = rgms.RGMSProblem(adjacency, 32, 32)
+        model = GPUModel(V100)
+        naive = model.estimate(rgms.rgms_naive_workload(problem, V100)).duration_us
+        hyb = model.estimate(
+            rgms.rgms_fused_hyb_workload(problem, V100, use_tensor_cores=False)
+        ).duration_us
+        hyb_tc = model.estimate(
+            rgms.rgms_fused_hyb_workload(problem, V100, use_tensor_cores=True)
+        ).duration_us
+        assert hyb < naive
+        assert hyb_tc < hyb
+
+    def test_two_stage_launches_per_relation(self, small_relational):
+        problem = rgms.RGMSProblem(small_relational, 8, 8)
+        workload = rgms.rgms_two_stage_workload(problem, V100)
+        active = sum(1 for m in small_relational.slices if m is not None and m.nnz)
+        assert workload.num_launches == 1 + active
+
+
+class TestSparseConv:
+    def test_reference_matches_dense_computation(self, small_conv_problem, rng):
+        problem = small_conv_problem
+        features = rng.standard_normal((problem.num_in_points, problem.in_channels)).astype(np.float32)
+        weights = rng.standard_normal(
+            (problem.kernel_volume, problem.in_channels, problem.out_channels)
+        ).astype(np.float32) * 0.1
+        out = sparse_conv.sparse_conv_reference(problem, features, weights)
+        # Manual accumulation over every pair.
+        expected = np.zeros_like(out)
+        for r, pairs in enumerate(problem.kernel_maps):
+            for in_idx, out_idx in pairs:
+                expected[out_idx] += features[in_idx] @ weights[r]
+        assert np.allclose(out, expected, atol=1e-3)
+
+    def test_reference_validates_shapes(self, small_conv_problem, rng):
+        problem = small_conv_problem
+        with pytest.raises(ValueError):
+            sparse_conv.sparse_conv_reference(
+                problem, rng.standard_normal((3, problem.in_channels)),
+                rng.standard_normal((problem.kernel_volume, problem.in_channels, problem.out_channels)),
+            )
+
+    def test_identity_offset_covers_all_points(self, small_conv_problem):
+        problem = small_conv_problem
+        sizes = problem.pairs_per_offset()
+        center = problem.kernel_volume // 2
+        assert sizes[center] == problem.num_in_points
+
+    def test_workloads_materialisation_difference(self, small_conv_problem):
+        fused = sparse_conv.sparse_conv_fused_tc_workload(small_conv_problem, V100)
+        staged = sparse_conv.sparse_conv_gather_gemm_scatter_workload(small_conv_problem, V100)
+        assert staged.metadata["materialized_bytes"] > 0
+        assert fused.memory_footprint_bytes < staged.memory_footprint_bytes
+        assert staged.num_launches > fused.num_launches
+
+
+class TestBatchedAttention:
+    @pytest.fixture(scope="class")
+    def small_mask(self):
+        return band_mask(seq_len=64, band_size=16, block_size=8)
+
+    def test_batched_spmm_reference(self, small_mask, rng):
+        feats = rng.standard_normal((3, 64, 4)).astype(np.float32)
+        out = batched.batched_spmm_reference(small_mask, feats)
+        dense = small_mask.to_dense()
+        assert np.allclose(out[1], dense @ feats[1], atol=1e-4)
+        with pytest.raises(ValueError):
+            batched.batched_spmm_reference(small_mask, feats[0])
+
+    def test_batched_sddmm_reference(self, small_mask, rng):
+        q = rng.standard_normal((2, 64, 4)).astype(np.float32)
+        k = rng.standard_normal((2, 4, 64)).astype(np.float32)
+        out = batched.batched_sddmm_reference(small_mask, q, k)
+        assert out.shape == (2, small_mask.nnz)
+
+    def test_bsr_tensor_cores_beat_scalar_csr(self, small_mask):
+        bsr = BSRMatrix.from_csr(small_mask, 8)
+        model = GPUModel(V100)
+        t_bsr = model.estimate(batched.batched_spmm_bsr_workload(bsr, 64, 12, V100)).duration_us
+        t_csr = model.estimate(batched.batched_spmm_csr_workload(small_mask, 64, 12, V100)).duration_us
+        assert t_bsr < t_csr
+
+    def test_workload_scales_with_heads(self, small_mask):
+        bsr = BSRMatrix.from_csr(small_mask, 8)
+        one = batched.batched_spmm_bsr_workload(bsr, 64, 1, V100)
+        many = batched.batched_spmm_bsr_workload(bsr, 64, 8, V100)
+        assert many.total_blocks() == 8 * one.total_blocks()
+        assert many.total_flops() == pytest.approx(8 * one.total_flops())

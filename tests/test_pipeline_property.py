@@ -1,0 +1,125 @@
+"""Property-based tests of the full compilation pipeline (hypothesis).
+
+The invariant under test is the compiler's core contract: whatever the sparse
+structure and whatever semantics-preserving schedule is applied, the compiled
+kernel computes the same values as the dense NumPy reference.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Schedule, build, lower_sparse_iterations, sparse_fuse
+from repro.formats import CSRMatrix, ELLMatrix, HybFormat
+from repro.formats.conversion import ell_rewrite_rule
+from repro.core import decompose_format
+from repro.ops.sddmm import build_sddmm_program, sddmm_reference
+from repro.ops.spmm import build_spmm_hyb_program, build_spmm_program, spmm_reference
+
+_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def sparse_matrices(draw, max_rows=10, max_cols=12):
+    rows = draw(st.integers(min_value=1, max_value=max_rows))
+    cols = draw(st.integers(min_value=1, max_value=max_cols))
+    density = draw(st.floats(min_value=0.05, max_value=0.6))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((rows, cols)) < density) * rng.random((rows, cols))
+    return CSRMatrix.from_dense(dense.astype(np.float32))
+
+
+@given(matrix=sparse_matrices(), feat=st.integers(min_value=1, max_value=6))
+@_SETTINGS
+def test_compiled_spmm_matches_dense_reference(matrix, feat):
+    rng = np.random.default_rng(matrix.nnz + feat)
+    features = rng.standard_normal((matrix.cols, feat)).astype(np.float32)
+    out = build(build_spmm_program(matrix, feat, features)).run()
+    reference = spmm_reference(matrix, features)
+    assert np.allclose(out["C"].reshape(matrix.rows, feat), reference, atol=1e-3)
+
+
+@given(matrix=sparse_matrices(max_rows=8, max_cols=8), feat=st.integers(min_value=1, max_value=5))
+@_SETTINGS
+def test_compiled_sddmm_matches_reference(matrix, feat):
+    rng = np.random.default_rng(matrix.nnz * 7 + feat)
+    x = rng.standard_normal((matrix.rows, feat)).astype(np.float32)
+    y = rng.standard_normal((feat, matrix.cols)).astype(np.float32)
+    out = build(build_sddmm_program(matrix, feat, x, y)).run()
+    assert np.allclose(out["OUT"], sddmm_reference(matrix, x, y), atol=1e-3)
+
+
+@given(
+    matrix=sparse_matrices(max_rows=8, max_cols=10),
+    feat=st.integers(min_value=1, max_value=4),
+    split_factor=st.integers(min_value=2, max_value=5),
+    bind_rows=st.booleans(),
+)
+@_SETTINGS
+def test_schedules_preserve_semantics(matrix, feat, split_factor, bind_rows):
+    rng = np.random.default_rng(matrix.nnz + 13 * feat + split_factor)
+    features = rng.standard_normal((matrix.cols, feat)).astype(np.float32)
+    stage2 = lower_sparse_iterations(build_spmm_program(matrix, feat, features))
+    schedule = Schedule(stage2)
+    loops = schedule.get_loops("spmm_compute")
+    if bind_rows:
+        schedule.bind(loops[0], "blockIdx.x")
+    loops = schedule.get_loops("spmm_compute")
+    if feat > 1:
+        schedule.split(loops[-1], split_factor)
+    out = build(schedule.func).run()
+    reference = spmm_reference(matrix, features)
+    assert np.allclose(out["C"].reshape(matrix.rows, feat), reference, atol=1e-3)
+
+
+@given(matrix=sparse_matrices(max_rows=8, max_cols=8), feat=st.integers(min_value=1, max_value=4))
+@_SETTINGS
+def test_ell_conversion_preserves_semantics(matrix, feat):
+    if matrix.nnz == 0:
+        return
+    rng = np.random.default_rng(matrix.nnz + feat * 31)
+    features = rng.standard_normal((matrix.cols, feat)).astype(np.float32)
+    program = build_spmm_program(matrix, feat, features)
+    converted = decompose_format(program, [ell_rewrite_rule(ELLMatrix.from_csr(matrix))])
+    out = build(converted).run()
+    reference = spmm_reference(matrix, features)
+    assert np.allclose(out["C"].reshape(matrix.rows, feat), reference, atol=1e-3)
+
+
+@given(
+    matrix=sparse_matrices(max_rows=8, max_cols=10),
+    feat=st.integers(min_value=1, max_value=4),
+    parts=st.integers(min_value=1, max_value=3),
+)
+@_SETTINGS
+def test_hyb_decomposition_preserves_semantics(matrix, feat, parts):
+    if matrix.nnz == 0:
+        return
+    rng = np.random.default_rng(matrix.nnz + feat + parts)
+    features = rng.standard_normal((matrix.cols, feat)).astype(np.float32)
+    hyb = HybFormat.from_csr(matrix, num_col_parts=parts)
+    out = build(build_spmm_hyb_program(hyb, feat, features)).run()
+    reference = spmm_reference(matrix, features)
+    assert np.allclose(out["C"].reshape(matrix.rows, feat), reference, atol=1e-3)
+
+
+@given(matrix=sparse_matrices(max_rows=8, max_cols=8), feat=st.integers(min_value=1, max_value=4))
+@_SETTINGS
+def test_sparse_fuse_preserves_semantics_property(matrix, feat):
+    if matrix.nnz == 0:
+        return
+    rng = np.random.default_rng(matrix.nnz * 3 + feat)
+    features = rng.standard_normal((matrix.cols, feat)).astype(np.float32)
+    program = build_spmm_program(matrix, feat, features)
+    i_axis = program.axis("I")
+    j_axis = program.axis("J")
+    fused = sparse_fuse(program, "spmm", [i_axis, j_axis])
+    out = build(fused).run()
+    reference = spmm_reference(matrix, features)
+    assert np.allclose(out["C"].reshape(matrix.rows, feat), reference, atol=1e-3)

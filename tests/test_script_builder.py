@@ -1,0 +1,130 @@
+"""Unit tests for the ProgramBuilder front end."""
+
+import numpy as np
+import pytest
+
+from repro.core.program import STAGE_COORDINATE
+from repro.core.script import ProgramBuilder
+from repro.core.sparse_iteration import SparseIteration, fuse
+
+
+def build_spmm(m=4, n=6, nnz=None):
+    rng = np.random.default_rng(0)
+    dense = (rng.random((m, n)) < 0.4).astype(np.float32)
+    import scipy.sparse as sp
+
+    csr = sp.csr_matrix(dense)
+    b = ProgramBuilder("spmm")
+    I = b.dense_fixed("I", m)
+    J = b.sparse_variable("J", parent=I, length=n, nnz=csr.nnz, indptr=csr.indptr, indices=csr.indices)
+    J_ = b.dense_fixed("J_", n)
+    K = b.dense_fixed("K", 3)
+    A = b.match_sparse_buffer("A", [I, J], data=csr.data)
+    B = b.match_sparse_buffer("B", [J_, K])
+    C = b.match_sparse_buffer("C", [I, K])
+    with b.sp_iter([I, J, K], "SRS", "spmm") as (i, j, k):
+        b.init(C[i, k], 0.0)
+        b.compute(C[i, k], C[i, k] + A[i, j] * B[j, k])
+    return b.finish()
+
+
+def test_builder_produces_stage1_program():
+    func = build_spmm()
+    assert func.stage == STAGE_COORDINATE
+    assert len(func.axes) == 4
+    assert len(func.buffers) == 3
+    iterations = func.sparse_iterations()
+    assert len(iterations) == 1
+    assert iterations[0].name == "spmm"
+    assert iterations[0].kinds == "SRS"
+    assert iterations[0].init is not None
+
+
+def test_builder_script_rendering_mentions_constructs():
+    text = build_spmm().script()
+    assert "sp_iter" in text
+    assert "match_sparse_buffer" in text
+    assert "with init():" in text
+
+
+def test_duplicate_axis_and_buffer_names_rejected():
+    b = ProgramBuilder("p")
+    b.dense_fixed("I", 4)
+    with pytest.raises(ValueError):
+        b.dense_fixed("I", 5)
+    i = b.dense_fixed("I2", 4)
+    b.match_sparse_buffer("A", [i])
+    with pytest.raises(ValueError):
+        b.match_sparse_buffer("A", [i])
+
+
+def test_compute_outside_iteration_raises():
+    b = ProgramBuilder("p")
+    i = b.dense_fixed("I", 4)
+    a = b.match_sparse_buffer("A", [i])
+    from repro.core.expr import Var
+
+    with pytest.raises(RuntimeError):
+        b.compute(a[Var("i")], 1.0)
+
+
+def test_empty_iteration_body_rejected():
+    b = ProgramBuilder("p")
+    i = b.dense_fixed("I", 4)
+    b.match_sparse_buffer("A", [i])
+    with pytest.raises(ValueError):
+        with b.sp_iter([i], "S", "noop") as (v,):
+            pass
+
+
+def test_finish_twice_and_empty_program_rejected():
+    b = ProgramBuilder("empty")
+    b.dense_fixed("I", 4)
+    with pytest.raises(ValueError):
+        b.finish()
+
+    func_builder = ProgramBuilder("p")
+    i = func_builder.dense_fixed("I", 2)
+    a = func_builder.match_sparse_buffer("A", [i])
+    with func_builder.sp_iter([i], "S", "set") as (v,):
+        func_builder.compute(a[v], 1.0)
+    func_builder.finish()
+    with pytest.raises(RuntimeError):
+        func_builder.finish()
+
+
+def test_nested_sp_iter_rejected():
+    b = ProgramBuilder("p")
+    i = b.dense_fixed("I", 2)
+    a = b.match_sparse_buffer("A", [i])
+    with pytest.raises(RuntimeError):
+        with b.sp_iter([i], "S", "outer") as (v,):
+            b.compute(a[v], 1.0)
+            with b.sp_iter([i], "S", "inner") as (w,):
+                b.compute(a[w], 2.0)
+
+
+def test_fused_axes_in_builder():
+    b = ProgramBuilder("sddmm")
+    i = b.dense_fixed("I", 4)
+    j = b.sparse_variable("J", parent=i, length=4, nnz=6)
+    k = b.dense_fixed("K", 2)
+    out = b.match_sparse_buffer("OUT", [i, j])
+    with b.sp_iter([fuse(i, j), k], "SSR", "sddmm") as (vi, vj, vk):
+        b.compute(out[vi, vj], 1.0)
+    func = b.finish()
+    iteration = func.sparse_iteration("sddmm")
+    assert len(iteration.flat_axes) == 3
+    assert len(iteration.axes) == 2  # one fused group + K
+
+
+def test_sparse_iteration_validation():
+    b = ProgramBuilder("p")
+    i = b.dense_fixed("I", 2)
+    a = b.match_sparse_buffer("A", [i])
+    from repro.core.expr import Var
+
+    with pytest.raises(ValueError):
+        SparseIteration("bad", (i,), "SS", (Var("x"),), None)
+    with pytest.raises(ValueError):
+        SparseIteration("bad", (i,), "X", (Var("x"),), None)

@@ -1,0 +1,115 @@
+"""Unit tests for stage-I schedules: sparse_reorder and sparse_fuse."""
+
+import numpy as np
+import pytest
+
+from repro.core import build, sparse_fuse, sparse_reorder
+from repro.formats.csr import CSRMatrix
+from repro.ops.sddmm import build_sddmm_program, sddmm_reference
+from repro.ops.spmm import build_spmm_program, spmm_reference
+
+
+@pytest.fixture
+def spmm_setup(small_csr, rng):
+    feat = 4
+    features = rng.standard_normal((small_csr.cols, feat)).astype(np.float32)
+    func = build_spmm_program(small_csr, feat, features)
+    return small_csr, features, func
+
+
+def axes_of(func, name):
+    return {axis.name: axis for axis in func.axes}[name]
+
+
+def test_sparse_reorder_changes_axis_order(spmm_setup):
+    csr, features, func = spmm_setup
+    i, j, k = axes_of(func, "I"), axes_of(func, "J"), axes_of(func, "K")
+    reordered = sparse_reorder(func, "spmm", [k, i, j])
+    iteration = reordered.sparse_iteration("spmm")
+    assert [a.name for a in iteration.flat_axes] == ["K", "I", "J"]
+    assert iteration.kinds == "SSR"
+
+
+def test_sparse_reorder_preserves_semantics(spmm_setup):
+    csr, features, func = spmm_setup
+    i, j, k = axes_of(func, "I"), axes_of(func, "J"), axes_of(func, "K")
+    reordered = sparse_reorder(func, "spmm", [k, i, j])
+    out = build(reordered).run()
+    reference = spmm_reference(csr, features)
+    assert np.allclose(out["C"].reshape(reference.shape), reference, atol=1e-4)
+
+
+def test_sparse_reorder_rejects_dependency_violation(spmm_setup):
+    _, _, func = spmm_setup
+    i, j, k = axes_of(func, "I"), axes_of(func, "J"), axes_of(func, "K")
+    with pytest.raises(ValueError):
+        sparse_reorder(func, "spmm", [j, i, k])
+
+
+def test_sparse_reorder_rejects_non_permutation(spmm_setup):
+    _, _, func = spmm_setup
+    i, k = axes_of(func, "I"), axes_of(func, "K")
+    with pytest.raises(ValueError):
+        sparse_reorder(func, "spmm", [i, k])
+
+
+def test_sparse_reorder_requires_stage1(spmm_setup):
+    from repro.core import lower_sparse_iterations
+
+    _, _, func = spmm_setup
+    i, j, k = axes_of(func, "I"), axes_of(func, "J"), axes_of(func, "K")
+    lowered = lower_sparse_iterations(func)
+    with pytest.raises(ValueError):
+        sparse_reorder(lowered, "spmm", [k, i, j])
+
+
+def test_sparse_fuse_creates_fused_group(spmm_setup):
+    _, _, func = spmm_setup
+    i, j = axes_of(func, "I"), axes_of(func, "J")
+    fused = sparse_fuse(func, "spmm", [i, j])
+    iteration = fused.sparse_iteration("spmm")
+    assert len(iteration.axes) == 2          # fused(I, J), K
+    assert len(iteration.flat_axes) == 3
+
+
+def test_sparse_fuse_preserves_semantics(spmm_setup):
+    csr, features, func = spmm_setup
+    i, j = axes_of(func, "I"), axes_of(func, "J")
+    fused = sparse_fuse(func, "spmm", [i, j])
+    out = build(fused).run()
+    reference = spmm_reference(csr, features)
+    assert np.allclose(out["C"].reshape(reference.shape), reference, atol=1e-4)
+
+
+def test_sparse_fuse_requires_consecutive_axes(spmm_setup):
+    _, _, func = spmm_setup
+    i, k = axes_of(func, "I"), axes_of(func, "K")
+    with pytest.raises(ValueError):
+        sparse_fuse(func, "spmm", [i, k])
+
+
+def test_sparse_fuse_requires_at_least_two_axes(spmm_setup):
+    _, _, func = spmm_setup
+    i = axes_of(func, "I")
+    with pytest.raises(ValueError):
+        sparse_fuse(func, "spmm", [i])
+
+
+def test_fused_sddmm_matches_reference(small_csr, rng):
+    feat = 4
+    x = rng.standard_normal((small_csr.rows, feat)).astype(np.float32)
+    y = rng.standard_normal((feat, small_csr.cols)).astype(np.float32)
+    func = build_sddmm_program(small_csr, feat, x, y, fuse_ij=True)
+    out = build(func).run()
+    reference = sddmm_reference(small_csr, x, y)
+    assert np.allclose(out["OUT"], reference, atol=1e-4)
+
+
+def test_unfused_sddmm_matches_reference(small_csr, rng):
+    feat = 4
+    x = rng.standard_normal((small_csr.rows, feat)).astype(np.float32)
+    y = rng.standard_normal((feat, small_csr.cols)).astype(np.float32)
+    func = build_sddmm_program(small_csr, feat, x, y, fuse_ij=False)
+    out = build(func).run()
+    reference = sddmm_reference(small_csr, x, y)
+    assert np.allclose(out["OUT"], reference, atol=1e-4)

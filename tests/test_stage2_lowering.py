@@ -1,0 +1,130 @@
+"""Unit tests for sparse iteration lowering (stage I -> stage II)."""
+
+import numpy as np
+import pytest
+
+from repro.core import lower_sparse_iterations
+from repro.core.program import STAGE_POSITION
+from repro.core.stage2.lowering import BINARY_SEARCH, materialize_aux_buffers
+from repro.core.stmt import Block, ForLoop, find_blocks, find_loops
+from repro.core.expr import Call, post_order
+from repro.core.stmt import collect_buffer_loads
+from repro.ops.sddmm import build_sddmm_program
+from repro.ops.spmm import build_spmm_program
+
+
+@pytest.fixture
+def lowered_spmm(small_csr, rng):
+    features = rng.standard_normal((small_csr.cols, 4)).astype(np.float32)
+    func = build_spmm_program(small_csr, 4, features)
+    return func, lower_sparse_iterations(func)
+
+
+def test_lowering_changes_stage(lowered_spmm):
+    func, lowered = lowered_spmm
+    assert lowered.stage == STAGE_POSITION
+    assert func.stage != STAGE_POSITION  # original is untouched
+
+
+def test_aux_buffers_materialized(lowered_spmm):
+    _, lowered = lowered_spmm
+    names = {buf.name for buf in lowered.aux_buffers}
+    assert "J_indptr" in names
+    assert "J_indices" in names
+    indptr = next(b for b in lowered.aux_buffers if b.name == "J_indptr")
+    assert indptr.data is not None
+
+
+def test_buffer_domain_hints_recorded(lowered_spmm):
+    _, lowered = lowered_spmm
+    domains = lowered.attrs["buffer_domains"]
+    assert domains["J_indptr"][1] == lowered.buffer("A").flat_size()
+    assert domains["J_indices"][1] == lowered.buffer("B").axes[0].length
+
+
+def test_one_loop_per_axis(lowered_spmm):
+    _, lowered = lowered_spmm
+    loops = find_loops(lowered.body)
+    assert len(loops) == 3  # i, j, k
+
+
+def test_block_separates_variable_loop(lowered_spmm):
+    """A block boundary must sit between the row loop and the nnz loop
+    (Figure 9), so they cannot be reordered across it."""
+    _, lowered = lowered_spmm
+    blocks = find_blocks(lowered.body)
+    names = [b.name for b in blocks]
+    assert "spmm_compute" in names
+    assert any("outer" in name for name in names)
+
+
+def test_compute_block_has_regions_and_init(lowered_spmm):
+    _, lowered = lowered_spmm
+    block = lowered.block("spmm_compute")
+    assert block.init is not None
+    read_buffers = {region.buffer.name for region in block.reads}
+    write_buffers = {region.buffer.name for region in block.writes}
+    assert {"A", "B"} <= read_buffers
+    assert write_buffers == {"C"}
+
+
+def test_coordinate_translation_uses_indices_for_dense_operand(lowered_spmm):
+    """B[j, k] must become B[J_indices[i, j], k] after translation."""
+    _, lowered = lowered_spmm
+    block = lowered.block("spmm_compute")
+    loads = collect_buffer_loads(block.body)
+    b_loads = [l for l in loads if l.buffer.name == "B"]
+    assert b_loads, "B must be read in the compute block"
+    index_repr = repr(b_loads[0].indices[0])
+    assert "J_indices" in index_repr
+
+
+def test_same_structure_access_avoids_binary_search(lowered_spmm):
+    """A[i, j] shares the iteration's structure, so no search is emitted."""
+    _, lowered = lowered_spmm
+    block = lowered.block("spmm_compute")
+    calls = [
+        node
+        for load in collect_buffer_loads(block.body)
+        for index in load.indices
+        for node in post_order(index)
+        if isinstance(node, Call) and node.func == BINARY_SEARCH
+    ]
+    assert calls == []
+
+
+def test_fused_sddmm_emits_single_spatial_loop(small_csr, rng):
+    x = rng.standard_normal((small_csr.rows, 4)).astype(np.float32)
+    y = rng.standard_normal((4, small_csr.cols)).astype(np.float32)
+    func = build_sddmm_program(small_csr, 4, x, y, fuse_ij=True)
+    lowered = lower_sparse_iterations(func)
+    loops = find_loops(lowered.body)
+    # fused (i, j) loop + k loop
+    assert len(loops) == 2
+    fused_loops = [l for l in loops if "fused" in l.loop_var.name]
+    assert len(fused_loops) == 1
+    assert fused_loops[0].extent.value == small_csr.nnz
+
+
+def test_unfused_sddmm_emits_three_loops(small_csr, rng):
+    x = rng.standard_normal((small_csr.rows, 4)).astype(np.float32)
+    y = rng.standard_normal((4, small_csr.cols)).astype(np.float32)
+    func = build_sddmm_program(small_csr, 4, x, y, fuse_ij=False)
+    lowered = lower_sparse_iterations(func)
+    assert len(find_loops(lowered.body)) == 3
+
+
+def test_materialize_aux_buffers_only_for_variable_or_sparse_axes(small_csr):
+    i_axis, j_axis = small_csr.to_axes()
+    from repro.core.axes import dense_fixed
+
+    aux = materialize_aux_buffers([i_axis, j_axis, dense_fixed("K", 8)])
+    assert id(j_axis) in aux.indptr
+    assert id(j_axis) in aux.indices
+    assert id(i_axis) not in aux.indptr
+
+
+def test_lowering_requires_stage1(lowered_spmm):
+    _, lowered = lowered_spmm
+    with pytest.raises(ValueError):
+        lower_sparse_iterations(lowered)

@@ -1,0 +1,89 @@
+"""Unit tests for sparse buffer lowering (stage II -> stage III)."""
+
+import numpy as np
+import pytest
+
+from repro.core import lower_sparse_buffers, lower_sparse_iterations
+from repro.core.buffers import FlatBuffer
+from repro.core.program import STAGE_LOOP
+from repro.core.stmt import collect_buffer_loads, collect_buffer_stores
+from repro.ops.spmm import build_spmm_program
+
+
+@pytest.fixture
+def stage3_spmm(small_csr, rng):
+    features = rng.standard_normal((small_csr.cols, 4)).astype(np.float32)
+    func = build_spmm_program(small_csr, 4, features)
+    stage2 = lower_sparse_iterations(func)
+    return small_csr, lower_sparse_buffers(stage2)
+
+
+def test_stage_changes_to_loop_level(stage3_spmm):
+    _, lowered = stage3_spmm
+    assert lowered.stage == STAGE_LOOP
+
+
+def test_every_access_is_one_dimensional(stage3_spmm):
+    _, lowered = stage3_spmm
+    for load in collect_buffer_loads(lowered.body):
+        assert isinstance(load.buffer, FlatBuffer)
+        assert len(load.indices) == 1
+    for store in collect_buffer_stores(lowered.body):
+        assert isinstance(store.buffer, FlatBuffer)
+        assert len(store.indices) == 1
+
+
+def test_flat_buffer_sizes_match_sparse_buffers(stage3_spmm):
+    csr, lowered = stage3_spmm
+    flat = {fb.name: fb for fb in lowered.flat_buffers}
+    assert flat["A"].size == csr.nnz
+    assert flat["C"].size == csr.rows * 4
+    assert flat["B"].size == csr.cols * 4
+    assert flat["J_indptr"].size == csr.rows + 1
+    assert flat["J_indices"].size == csr.nnz
+
+
+def test_dense_output_flattening_matches_figure10(stage3_spmm):
+    """C[i, k] must flatten to C[i * feat_size + k]."""
+    _, lowered = stage3_spmm
+    stores = [s for s in collect_buffer_stores(lowered.body) if s.buffer.name == "C"]
+    assert stores
+    assert "* 4" in repr(stores[0].indices[0]) or "*4" in repr(stores[0].indices[0])
+
+
+def test_csr_value_flattening_uses_indptr(stage3_spmm):
+    """A[i, j] must flatten to A[J_indptr[i] + j]."""
+    _, lowered = stage3_spmm
+    loads = [l for l in collect_buffer_loads(lowered.body) if l.buffer.name == "A"]
+    assert loads
+    assert "J_indptr" in repr(loads[0].indices[0])
+
+
+def test_lowering_requires_stage2(stage3_spmm, small_csr, rng):
+    _, lowered = stage3_spmm
+    with pytest.raises(ValueError):
+        lower_sparse_buffers(lowered)
+    func = build_spmm_program(small_csr, 4, rng.standard_normal((small_csr.cols, 4)).astype(np.float32))
+    with pytest.raises(ValueError):
+        lower_sparse_buffers(func)
+
+
+def test_bsr_flattening_offsets():
+    """Flat offset of a BSR buffer follows ((indptr[io]+jo)*b + ii)*b + ji."""
+    from repro.core.axes import dense_fixed, sparse_variable
+    from repro.core.buffers import SparseBuffer
+    from repro.core.expr import IntImm
+    from repro.core.program import PrimFunc, STAGE_POSITION
+    from repro.core.stage3.buffer_lowering import _Flattener
+
+    io = dense_fixed("IO", 2)
+    jo = sparse_variable("JO", io, 4, 3, indptr=np.array([0, 1, 3]), indices=np.array([2, 0, 3]))
+    ii = dense_fixed("II", 2)
+    ji = dense_fixed("JI", 2)
+    buf = SparseBuffer("Absr", [io, jo, ii, ji])
+    func = PrimFunc("f", [io, jo, ii, ji], [buf], body=None, stage=STAGE_POSITION)
+    flattener = _Flattener(func)
+    offset = flattener.flatten_access(buf, [IntImm(1), IntImm(1), IntImm(1), IntImm(0)])
+    # indptr[1] = 1, +1 -> block 2; (2 * 2 + 1) * 2 + 0 = 10
+    text = repr(offset)
+    assert "JO_indptr" in text

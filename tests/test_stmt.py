@@ -1,0 +1,137 @@
+"""Unit tests for the statement IR and its tree helpers."""
+
+import pytest
+
+from repro.core.axes import dense_fixed
+from repro.core.buffers import SparseBuffer
+from repro.core.expr import IntImm, Var
+from repro.core.stmt import (
+    AssertStmt,
+    Block,
+    BufferRegion,
+    BufferStore,
+    Evaluate,
+    ForLoop,
+    IfThenElse,
+    LetStmt,
+    SeqStmt,
+    collect_buffer_loads,
+    collect_buffer_stores,
+    find_blocks,
+    find_loops,
+    post_order_stmts,
+    substitute_stmt,
+)
+
+
+@pytest.fixture
+def simple_nest():
+    axis = dense_fixed("I", 4)
+    buf = SparseBuffer("A", [axis])
+    out = SparseBuffer("B", [axis])
+    i = Var("i")
+    store = BufferStore(out, [i], buf[i] + 1.0)
+    block = Block("compute", store, reads=[BufferRegion(buf, [i])], writes=[BufferRegion(out, [i])])
+    loop = ForLoop(i, IntImm(0), IntImm(4), block)
+    return loop, buf, out, i, store, block
+
+
+def test_seqstmt_flattens_nested_sequences():
+    a, b, c = Evaluate(IntImm(1)), Evaluate(IntImm(2)), Evaluate(IntImm(3))
+    seq = SeqStmt([a, SeqStmt([b, c])])
+    assert len(seq.stmts) == 3
+
+
+def test_post_order_visits_children_first(simple_nest):
+    loop, _, _, _, store, block = simple_nest
+    order = list(post_order_stmts(loop))
+    assert order.index(store) < order.index(block) < order.index(loop)
+
+
+def test_find_blocks_and_loops(simple_nest):
+    loop, *_rest, block = simple_nest
+    assert find_blocks(loop) == [block]
+    assert find_loops(loop) == [loop]
+
+
+def test_collect_buffer_loads_and_stores(simple_nest):
+    loop, buf, out, *_ = simple_nest
+    loads = collect_buffer_loads(loop)
+    stores = collect_buffer_stores(loop)
+    assert len(loads) == 1 and loads[0].buffer is buf
+    assert len(stores) == 1 and stores[0].buffer is out
+
+
+def test_substitute_stmt_rewrites_indices(simple_nest):
+    loop, buf, out, i, *_ = simple_nest
+    j = Var("j")
+    new = substitute_stmt(loop.body, {i: j})
+    stores = collect_buffer_stores(new)
+    assert stores[0].indices[0] is j
+
+
+def test_substitute_stmt_preserves_block_metadata(simple_nest):
+    loop, buf, out, i, _store, block = simple_nest
+    j = Var("j")
+    new_block = substitute_stmt(block, {i: j})
+    assert isinstance(new_block, Block)
+    assert new_block.name == "compute"
+    assert new_block.reads[0].indices[0] is j
+    assert new_block.writes[0].indices[0] is j
+
+
+def test_forloop_with_body_copies_annotations():
+    i = Var("i")
+    loop = ForLoop(i, IntImm(0), IntImm(4), Evaluate(IntImm(0)), annotations={"k": 1})
+    new = loop.with_body(Evaluate(IntImm(1)))
+    assert new.annotations == {"k": 1}
+    assert new.loop_var is i
+
+
+def test_block_with_body_copies_everything(simple_nest):
+    *_head, block = simple_nest
+    block.annotations["tensorize"] = "mma_m16n16k16"
+    copy = block.with_body(Evaluate(IntImm(0)))
+    assert copy.annotations["tensorize"] == "mma_m16n16k16"
+    assert copy.name == block.name
+    assert len(copy.reads) == 1
+
+
+def test_if_then_else_children():
+    cond = Var("x") < 3
+    stmt = IfThenElse(cond, Evaluate(IntImm(1)), Evaluate(IntImm(2)))
+    assert len(list(post_order_stmts(stmt))) == 3
+
+
+def test_let_and_assert_traversal():
+    x = Var("x")
+    body = Evaluate(x)
+    let = LetStmt(x, IntImm(3), body)
+    asrt = AssertStmt(x < 10, "domain", let)
+    nodes = list(post_order_stmts(asrt))
+    assert body in nodes and let in nodes
+
+
+def test_substitute_stmt_handles_if_and_let():
+    x, y = Var("x"), Var("y")
+    stmt = IfThenElse(x < 3, LetStmt(y, x + 1, Evaluate(y)), None)
+    out = substitute_stmt(stmt, {x: IntImm(7)})
+    assert "7" in repr(out)
+
+
+def test_buffer_store_wraps_value():
+    axis = dense_fixed("I", 4)
+    buf = SparseBuffer("A", [axis])
+    store = BufferStore(buf, [Var("i")], 0.0)
+    assert store.value.value == 0.0
+
+
+def test_thread_tags_and_loop_kinds():
+    from repro.core.stmt import LOOP_THREAD_BINDING, THREAD_TAGS
+
+    assert "blockIdx.x" in THREAD_TAGS
+    i = Var("i")
+    loop = ForLoop(i, IntImm(0), IntImm(8), Evaluate(IntImm(0)),
+                   kind=LOOP_THREAD_BINDING, thread_tag="threadIdx.x")
+    assert loop.thread_tag == "threadIdx.x"
+    assert "thread_binding" in repr(loop)

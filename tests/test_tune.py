@@ -1,0 +1,74 @@
+"""Unit tests for the format/schedule tuner."""
+
+import pytest
+
+from repro.tune import Choice, ParameterSpace, grid_search, random_search, tune_spmm
+from repro.tune.search_space import sddmm_search_space, spmm_search_space
+from repro.perf.device import V100
+from repro.workloads.graphs import generate_adjacency
+
+
+class TestParameterSpace:
+    def test_size_and_enumeration(self):
+        space = ParameterSpace([Choice("a", (1, 2)), Choice("b", ("x", "y", "z"))])
+        assert len(space) == 6
+        configs = list(space.configurations())
+        assert len(configs) == 6
+        assert {"a", "b"} == set(configs[0])
+
+    def test_sampling_without_replacement(self):
+        space = ParameterSpace([Choice("a", (1, 2, 3)), Choice("b", (1, 2))])
+        sample = space.sample(4, seed=1)
+        assert len(sample) == 4
+        assert len({tuple(sorted(c.items())) for c in sample}) == 4
+        assert len(space.sample(100, seed=1)) == len(space)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParameterSpace([Choice("a", (1,)), Choice("a", (2,))])
+        with pytest.raises(ValueError):
+            Choice("empty", ())
+
+    def test_predefined_spaces(self):
+        assert len(spmm_search_space()) == 5 * 5 * 3
+        assert len(sddmm_search_space()) == 4 * 3 * 3
+
+
+class TestSearchDrivers:
+    def test_grid_search_finds_minimum(self):
+        space = ParameterSpace([Choice("x", (1, 2, 3, 4))])
+        result = grid_search(space, lambda config: (config["x"] - 3) ** 2)
+        assert result.best_config == {"x": 3}
+        assert result.best_cost == 0
+        assert result.evaluated == 4
+        assert len(result.history) == 4
+
+    def test_random_search_respects_trial_budget(self):
+        space = ParameterSpace([Choice("x", tuple(range(20)))])
+        result = random_search(space, lambda c: c["x"], trials=5, seed=0)
+        assert result.evaluated == 5
+        assert result.best_cost == min(h["cost"] for h in result.history)
+
+
+class TestSpMMTuner:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return generate_adjacency(1500, 18000, "powerlaw", seed=2)
+
+    def test_tuner_returns_valid_configuration(self, graph):
+        result = tune_spmm(graph, 64, V100, max_trials=10)
+        assert result.best_config["num_col_parts"] in (1, 2, 4, 8, 16)
+        assert result.best_config["threads_per_block"] in (64, 128, 256)
+        assert result.best_cost > 0
+
+    def test_tuned_configuration_not_worse_than_default(self, graph):
+        from repro.formats import HybFormat
+        from repro.ops.spmm import spmm_hyb_workload
+        from repro.perf.gpu_model import GPUModel
+
+        result = tune_spmm(graph, 64, V100, max_trials=20, seed=3)
+        model = GPUModel(V100)
+        default = model.estimate(
+            spmm_hyb_workload(HybFormat.from_csr(graph, num_col_parts=1), 64, V100)
+        ).duration_us
+        assert result.best_cost <= default * 1.001

@@ -1,0 +1,168 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import attention, graphs, hetero_graphs, pointcloud, pruning
+
+
+class TestGraphs:
+    def test_table1_catalogue(self):
+        names = graphs.available_graphs()
+        assert set(names) == {
+            "cora", "citeseer", "pubmed", "ppi", "ogbn-arxiv", "ogbn-proteins", "reddit",
+        }
+        for name in names:
+            spec = graphs.GRAPH_SPECS[name]
+            assert spec.nodes <= spec.paper_nodes
+            assert 0 < spec.scale <= 1.0
+
+    def test_generated_graph_matches_spec_sizes(self):
+        graph = graphs.synthetic_graph("cora", seed=0)
+        spec = graphs.GRAPH_SPECS["cora"]
+        assert graph.num_nodes == spec.nodes
+        assert abs(graph.num_edges - spec.edges) / spec.edges < 0.15
+
+    def test_powerlaw_graph_has_hubs(self):
+        csr = graphs.generate_adjacency(2000, 16000, "powerlaw", seed=1)
+        lengths = csr.row_lengths()
+        assert lengths.max() > 10 * lengths.mean()
+
+    def test_centralized_graph_has_low_skew(self):
+        csr = graphs.generate_adjacency(1000, 50000, "centralized", seed=1)
+        lengths = csr.row_lengths()
+        assert lengths.max() < 4 * lengths.mean()
+
+    def test_generation_is_deterministic_per_seed(self):
+        a = graphs.generate_adjacency(500, 3000, seed=7)
+        b = graphs.generate_adjacency(500, 3000, seed=7)
+        c = graphs.generate_adjacency(500, 3000, seed=8)
+        assert np.array_equal(a.indices, b.indices)
+        assert not np.array_equal(a.indices, c.indices)
+
+    def test_unknown_name_and_bad_distribution(self):
+        with pytest.raises(KeyError):
+            graphs.synthetic_graph("imaginary-graph")
+        with pytest.raises(ValueError):
+            graphs.generate_adjacency(10, 20, "weird")
+
+    def test_feature_matrix_shape(self):
+        feats = graphs.feature_matrix(10, 4, seed=0)
+        assert feats.shape == (10, 4) and feats.dtype == np.float32
+
+
+class TestHeteroGraphs:
+    def test_table2_catalogue(self):
+        assert set(hetero_graphs.available_hetero_graphs()) == {
+            "aifb", "mutag", "bgs", "ogbl-biokg", "am",
+        }
+
+    def test_generated_hetero_graph_statistics(self):
+        graph = hetero_graphs.synthetic_hetero_graph("mutag", seed=0)
+        spec = hetero_graphs.HETERO_SPECS["mutag"]
+        assert graph.num_etypes == spec.num_etypes
+        assert graph.num_nodes == spec.nodes
+        assert abs(graph.num_edges - spec.edges) / spec.edges < 0.35
+
+    def test_relation_sizes_are_skewed(self):
+        graph = hetero_graphs.synthetic_hetero_graph("aifb", seed=0)
+        sizes = graph.relation_sizes()
+        assert sizes.max() > 5 * max(sizes.min(), 1)
+
+    def test_unknown_hetero_graph(self):
+        with pytest.raises(KeyError):
+            hetero_graphs.synthetic_hetero_graph("nope")
+
+
+class TestAttention:
+    def test_band_mask_band_structure(self):
+        mask = attention.band_mask(128, 32, 16)
+        dense = mask.to_dense()
+        assert dense[0, 0] == 1.0
+        assert dense[0, 127] == 0.0
+        # every query attends to itself and its block-aligned band
+        assert (dense.sum(axis=1) > 0).all()
+
+    def test_band_mask_block_aligned(self):
+        mask = attention.band_mask(128, 32, 16)
+        bsr = attention.mask_to_bsr(mask, 16)
+        assert bsr.nnz_stored == mask.nnz  # blocks are fully dense
+
+    def test_butterfly_mask_structure(self):
+        mask = attention.butterfly_mask(128, 16)
+        dense = mask.to_dense()
+        assert np.all(np.diag(dense) == 1.0)
+        assert dense[0, 16] == 1.0  # stride-1 block partner
+        assert mask.nnz < 128 * 128  # actually sparse
+
+    def test_masks_require_divisible_sequence(self):
+        with pytest.raises(ValueError):
+            attention.band_mask(100, 32, 16)
+        with pytest.raises(ValueError):
+            attention.butterfly_mask(100, 16)
+
+    def test_attention_inputs_shapes(self):
+        config = attention.AttentionConfig(seq_len=64, num_heads=2, head_dim=8)
+        q, k, v = attention.attention_inputs(config, seed=1)
+        assert q.shape == k.shape == v.shape == (2, 64, 8)
+
+
+class TestPruning:
+    def test_block_pruned_weight_structure(self):
+        weight = pruning.block_pruned_weight(256, 256, 32, density=0.1, seed=0)
+        assert abs(weight.density - 0.1) < 0.05
+        from repro.formats import BSRMatrix
+
+        bsr = BSRMatrix.from_csr(weight, 32)
+        assert bsr.block_density > 0.9  # surviving blocks are dense
+
+    def test_block_pruned_weight_has_empty_block_rows(self):
+        weight = pruning.block_pruned_weight(256, 256, 32, density=0.05, seed=0)
+        from repro.formats import DBSRMatrix
+
+        dbsr = DBSRMatrix.from_csr(weight, 32)
+        assert dbsr.empty_block_row_fraction > 0.2
+
+    def test_unstructured_pruned_weight_density(self):
+        weight = pruning.unstructured_pruned_weight(768, 768, density=0.06, seed=0)
+        assert abs(weight.density - 0.06) < 0.02
+
+    def test_pruned_bert_layers_cover_all_shapes(self):
+        layers = pruning.pruned_bert_layers("block", density=0.125, block_size=32, seed=0)
+        assert len(layers) == len(pruning.BERT_LAYER_SHAPES)
+        shapes = {layer.weight.shape for layer in layers}
+        assert (3072, 768) in shapes and (768, 3072) in shapes
+        with pytest.raises(ValueError):
+            pruning.pruned_bert_layers("other", 0.1)
+
+    def test_density_sweep_grids(self):
+        block = pruning.density_sweep("block")
+        unstructured = pruning.density_sweep("unstructured")
+        assert block[0] == pytest.approx(2 ** -7)
+        assert len(block) == 7 and len(unstructured) == 5
+
+
+class TestPointCloud:
+    def test_voxelisation_unique(self):
+        config = pointcloud.PointCloudConfig(num_points=500, voxel_size=0.5, seed=0)
+        points = pointcloud.lidar_like_points(config)
+        voxels = pointcloud.voxelize(points, config.voxel_size)
+        assert len(np.unique(voxels, axis=0)) == len(voxels)
+        assert len(voxels) <= 500
+
+    def test_kernel_offsets_count(self):
+        assert len(pointcloud.kernel_offsets(3, 3)) == 27
+        assert (0, 0, 0) in pointcloud.kernel_offsets(3, 3)
+
+    def test_kernel_maps_identity_offset(self):
+        problem = pointcloud.sparse_conv_problem(
+            4, 8, pointcloud.PointCloudConfig(num_points=300, voxel_size=1.0, seed=1)
+        )
+        sizes = problem.pairs_per_offset()
+        assert sizes[len(sizes) // 2] == problem.num_in_points
+        assert problem.kernel_volume == 27
+        # neighbouring offsets connect fewer pairs than the identity
+        assert sizes.max() == sizes[len(sizes) // 2]
+
+    def test_channel_sweep_catalogue(self):
+        assert (32, 32) in pointcloud.MINKOWSKINET_CHANNEL_SWEEP
