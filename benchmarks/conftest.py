@@ -9,7 +9,7 @@ footprints) and records the end-to-end harness time with pytest-benchmark.
 
 import sys
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import pytest
 
@@ -21,6 +21,17 @@ from repro.perf.device import RTX3070, V100
 
 def pytest_configure(config):
     config.addinivalue_line("markers", "figure(name): benchmark reproducing one paper figure")
+
+
+def pytest_collection_modifyitems(items):
+    """Every test in this directory is a paper-benchmark harness.
+
+    The ``bench`` marker lets CI run a fast default lane
+    (``-m "not slow and not bench"``) and a full nightly lane.
+    """
+    for item in items:
+        if "benchmarks" in str(item.fspath):
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(params=["V100", "RTX3070"], scope="session")

@@ -11,7 +11,6 @@ import pytest
 from bench_helpers import FEATURE_SIZES, geomean, spmm_system_durations
 from conftest import print_speedup_table
 from repro.formats.hyb import HybFormat
-from repro.ops.spmm import choose_hyb_parameters
 from repro.tune import tune_spmm
 from repro.workloads.graphs import available_graphs, synthetic_graph
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.formats.padding import padding_ratio_percent
-from repro.workloads.graphs import GRAPH_SPECS, available_graphs, synthetic_graph
+from repro.workloads.graphs import available_graphs, synthetic_graph
 
 
 @pytest.mark.figure("table1")

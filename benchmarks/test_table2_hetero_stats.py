@@ -3,7 +3,7 @@
 import pytest
 
 from repro.formats.hyb import HybFormat
-from repro.workloads.hetero_graphs import HETERO_SPECS, available_hetero_graphs, synthetic_hetero_graph
+from repro.workloads.hetero_graphs import available_hetero_graphs, synthetic_hetero_graph
 
 
 def _relational_padding_percent(graph) -> float:

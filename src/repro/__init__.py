@@ -8,12 +8,14 @@ schedule auto-tuner.
 
 Quick start::
 
-    from repro.ops import spmm
-    from repro.workloads.graphs import synthetic_graph
-    from repro.perf.device import V100
+    import numpy as np
+    from repro.runtime import Session
+    from repro.workloads.graphs import feature_matrix, synthetic_graph
 
-    graph = synthetic_graph("ogbn-arxiv-small", seed=0)
-    result = spmm.spmm_sparsetir_hyb(graph.to_csr(), feat_size=32, device=V100)
+    graph = synthetic_graph("cora", seed=0)
+    csr = graph.to_csr()
+    session = Session()  # compile-once/run-many: cached formats + kernels
+    result = session.spmm(csr, feature_matrix(csr.cols, 32), format="hyb")
 """
 
 from . import core

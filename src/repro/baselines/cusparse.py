@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..formats.csr import CSRMatrix
-from ..ops.common import INDEX_BYTES, ceil_div, dense_reuse_miss_rate, value_bytes
+from ..ops.common import INDEX_BYTES, ceil_div, value_bytes
 from ..ops.sddmm import sddmm_reference
 from ..ops.spmm import spmm_csr_workload, spmm_reference
 from ..perf.device import DeviceSpec

@@ -12,7 +12,6 @@ a comparison point of Figure 17.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..formats.bsr import BSRMatrix
 from ..ops.batched import batched_sddmm_bsr_workload, batched_spmm_bsr_workload

@@ -16,7 +16,7 @@ holds only values, so several buffers may share one structure.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 import numpy as np
 

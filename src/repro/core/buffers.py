@@ -9,12 +9,12 @@ paper.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .axes import Axis, DenseFixedAxis
-from .expr import BufferLoad, Expr, wrap
+from .expr import BufferLoad, wrap
 
 
 class SparseBuffer:

@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional
 
 import numpy as np
 
 from ..program import STAGE_COORDINATE, STAGE_LOOP, STAGE_POSITION, PrimFunc
 from ..stage2.lowering import lower_sparse_iterations
 from ..stage3.buffer_lowering import lower_sparse_buffers
+from .cache import KernelCache, resolve_cache, structural_fingerprint
 from .cuda_like import emit_cuda_source
 from .fusion import launch_count
 
@@ -18,26 +19,81 @@ class Kernel:
 
     A kernel bundles the fully lowered (stage-III) program with
 
-    * a NumPy interpreter (:meth:`run`) used for numerical verification,
+    * a NumPy runtime (:meth:`run`): the vectorized whole-array fast path
+      with automatic fallback to the element-by-element interpreter,
     * the pseudo-CUDA listing (:meth:`cuda_source`) produced by code
       generation, and
     * a hook for the GPU performance model (:meth:`profile`) which estimates
       execution time and memory behaviour on a simulated device.
+
+    ``defaults`` carries the value arrays of the program the kernel was built
+    from, keyed by buffer name.  They are merged under any explicit bindings
+    at :meth:`run` time, which is what lets a structurally-cached kernel be
+    reused across workloads that share a sparsity structure but differ in
+    values.
     """
 
-    def __init__(self, func: PrimFunc, stage2: Optional[PrimFunc] = None):
+    def __init__(
+        self,
+        func: PrimFunc,
+        stage2: Optional[PrimFunc] = None,
+        defaults: Optional[Mapping[str, np.ndarray]] = None,
+    ):
         if func.stage != STAGE_LOOP:
             raise ValueError("Kernel requires a stage-III program; use build()")
         self.func = func
         self.stage2 = stage2
+        self.defaults: Dict[str, np.ndarray] = dict(defaults or {})
+        self.last_engine: Optional[str] = None
         self._source: Optional[str] = None
+        self._vectorized: Any = None  # lazily built; False marks "unsupported"
 
     # -- execution ------------------------------------------------------------
-    def run(self, bindings: Optional[Mapping[str, np.ndarray]] = None) -> Dict[str, np.ndarray]:
-        """Interpret the kernel and return every buffer's flat array."""
-        from ...runtime.executor import Executor
+    def run(
+        self,
+        bindings: Optional[Mapping[str, np.ndarray]] = None,
+        engine: str = "auto",
+    ) -> Dict[str, np.ndarray]:
+        """Execute the kernel and return every buffer's flat array.
 
-        return Executor(self.func).run(bindings)
+        ``engine`` selects the backend: ``"auto"`` (default) uses the
+        vectorized fast path when the program is in its supported fragment
+        and silently falls back to the interpreter otherwise;
+        ``"vectorized"`` requires the fast path (raising
+        :class:`~repro.runtime.vectorized.UnsupportedProgram` if it does not
+        apply); ``"interpret"`` forces the scalar interpreter.
+        """
+        from ...runtime.executor import Executor
+        from ...runtime.vectorized import UnsupportedProgram, VectorizedExecutor
+
+        merged: Dict[str, np.ndarray] = dict(self.defaults)
+        if bindings:
+            merged.update(bindings)
+
+        if engine not in ("auto", "vectorized", "interpret"):
+            raise ValueError(f"unknown engine {engine!r}")
+        if engine == "vectorized":
+            # Strict: any rejection (at analysis or at run time) propagates.
+            executor = (
+                self._vectorized
+                if isinstance(self._vectorized, VectorizedExecutor)
+                else VectorizedExecutor(self.func)
+            )
+            self._vectorized = executor
+            result = executor.run(merged)
+            self.last_engine = "vectorized"
+            return result
+        if engine == "auto" and self._vectorized is not False:
+            try:
+                if self._vectorized is None:
+                    self._vectorized = VectorizedExecutor(self.func)
+                result = self._vectorized.run(merged)
+                self.last_engine = "vectorized"
+                return result
+            except UnsupportedProgram:
+                self._vectorized = False
+        self.last_engine = "interpret"
+        return Executor(self.func).run(merged)
 
     # -- code generation ---------------------------------------------------------
     def cuda_source(self) -> str:
@@ -62,13 +118,69 @@ class Kernel:
         return f"Kernel({self.func.name!r}, launches={self.num_launches})"
 
 
-def build(func: PrimFunc, horizontal_fusion: bool = True) -> Kernel:
+def _collect_defaults(func: PrimFunc) -> Dict[str, np.ndarray]:
+    return {
+        buf.name: buf.data
+        for buf in list(func.buffers) + list(func.aux_buffers)
+        if buf.data is not None
+    }
+
+
+def _structural_copy(func: PrimFunc) -> PrimFunc:
+    """A copy of a lowered program with the *value* buffers' data detached.
+
+    Cached entries must be purely structural: value arrays are rebound from
+    the requesting program at every build, so (a) a cache hit can never leak
+    the first build's features/weights into a later run whose program left a
+    buffer unbound, and (b) the cache does not pin large value arrays in
+    memory for the process lifetime.  Auxiliary (indptr/indices) buffers keep
+    their data — it is structural and already part of the fingerprint.
+    """
+    from ..buffers import SparseBuffer
+
+    stripped = [
+        SparseBuffer(buf.name, buf.axes, buf.dtype, buf.scope) for buf in func.buffers
+    ]
+    return PrimFunc(
+        func.name,
+        axes=list(func.axes),
+        buffers=stripped,
+        body=func.body,
+        stage=func.stage,
+        aux_buffers=list(func.aux_buffers),
+        flat_buffers=list(func.flat_buffers),
+        attrs=dict(func.attrs),
+    )
+
+
+def build(
+    func: PrimFunc,
+    horizontal_fusion: bool = True,
+    cache: Optional[KernelCache] = None,
+) -> Kernel:
     """Lower a program (from any stage) to stage III and wrap it in a Kernel.
 
     ``horizontal_fusion`` applies the backend pass of Section 3.5 so that the
     per-format kernels produced by composable formats are launched as a
     single grid.
+
+    ``cache`` controls structural kernel caching: ``None`` (default) uses the
+    process-wide :func:`~repro.core.codegen.cache.global_kernel_cache`, a
+    :class:`~repro.core.codegen.cache.KernelCache` instance uses that cache,
+    and ``False`` disables caching.  On a cache hit the lowering passes are
+    skipped entirely and the value arrays of *func* are attached to the
+    cached loop nest as run-time defaults.
     """
+    cache_obj = resolve_cache(cache)
+    defaults = _collect_defaults(func)
+    key: Optional[str] = None
+    if cache_obj is not None:
+        key = structural_fingerprint(func, {"horizontal_fusion": horizontal_fusion})
+        entry = cache_obj.get(key)
+        if entry is not None:
+            lowered, stage2 = entry
+            return Kernel(lowered, stage2=stage2, defaults=defaults)
+
     stage2: Optional[PrimFunc] = None
     if func.stage == STAGE_COORDINATE:
         func = lower_sparse_iterations(func)
@@ -81,4 +193,11 @@ def build(func: PrimFunc, horizontal_fusion: bool = True) -> Kernel:
         from .fusion import horizontal_fuse
 
         func = horizontal_fuse(func)
-    return Kernel(func, stage2=stage2)
+    # Aux buffers (indptr/indices) are materialised during lowering; include
+    # their data so cache hits on later identical builds can rebind them.
+    defaults.update(_collect_defaults(func))
+    if cache_obj is not None and key is not None:
+        func = _structural_copy(func)
+        stage2 = None if stage2 is None else _structural_copy(stage2)
+        cache_obj.put(key, func, stage2)
+    return Kernel(func, stage2=stage2, defaults=defaults)

@@ -1,0 +1,149 @@
+"""Structural kernel caching: compile once, run many.
+
+Lowering a stage-I program through sparse iteration lowering, sparse buffer
+lowering and horizontal fusion is pure Python tree rewriting and dominates
+the cost of :func:`~repro.core.codegen.build.build`.  The same *structure* is
+lowered over and over — the tuner revisits format configurations, models run
+the same kernel every layer/epoch, benchmarks sweep feature sizes over one
+graph.  This module provides
+
+* :func:`structural_fingerprint` — a stable content hash of a program's
+  structure: the printed program text (axes, buffers, iteration bodies), the
+  per-axis structural data (``indptr`` / ``indices`` contents, lengths, nnz)
+  and the build configuration.  Buffer *values* are deliberately excluded:
+  two programs with the same structure but different data lower to the same
+  loop nest, and the value arrays are rebound at execution time.
+* :class:`KernelCache` — an LRU map from fingerprint to lowered program,
+  with hit/miss statistics.
+
+The process-wide default cache used by ``build()`` lives here; a
+:class:`~repro.runtime.session.Session` can hold its own isolated cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..program import PrimFunc
+
+
+def _hash_array(digest: "hashlib._Hash", array: Optional[np.ndarray]) -> None:
+    if array is None:
+        digest.update(b"none")
+        return
+    arr = np.ascontiguousarray(array)
+    digest.update(str(arr.dtype).encode())
+    digest.update(str(arr.shape).encode())
+    digest.update(arr.tobytes())
+
+
+def structural_fingerprint(func: PrimFunc, config: Optional[Mapping[str, Any]] = None) -> str:
+    """A stable hash of the program structure and build configuration.
+
+    Two calls return the same fingerprint exactly when the programs lower to
+    the same stage-III loop nest: the printed program (iteration structure,
+    buffer shapes/dtypes) and every axis's structural arrays must match.
+    Value data bound to buffers does not participate.
+    """
+    digest = hashlib.sha256()
+    digest.update(func.script().encode())
+    for axis in func.axes:
+        digest.update(f"|axis:{type(axis).__name__}:{axis.name}:{axis.length}".encode())
+        digest.update(f":{getattr(axis, 'nnz', '')}:{getattr(axis, 'nnz_cols', '')}".encode())
+        _hash_array(digest, getattr(axis, "indptr", None))
+        _hash_array(digest, getattr(axis, "indices", None))
+    for buf in list(func.buffers) + list(func.aux_buffers):
+        digest.update(f"|buf:{buf.name}:{buf.dtype}:{buf.scope}".encode())
+    if config:
+        digest.update(repr(sorted(config.items())).encode())
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`KernelCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, hit_rate={self.hit_rate:.0%})"
+        )
+
+
+class KernelCache:
+    """An LRU cache from structural fingerprint to lowered programs.
+
+    Entries hold the lowered stage-III program (and its stage-II form, kept
+    for scheduling introspection); value data is rebound per build, so one
+    entry serves every workload that shares the structure.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[str, Tuple[PrimFunc, Optional[PrimFunc]]]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[Tuple[PrimFunc, Optional[PrimFunc]]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: str, lowered: PrimFunc, stage2: Optional[PrimFunc] = None) -> None:
+        self._entries[key] = (lowered, stage2)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats = CacheStats()
+
+
+#: Process-wide cache used by ``build()`` unless a caller supplies its own.
+_GLOBAL_CACHE = KernelCache()
+
+
+def global_kernel_cache() -> KernelCache:
+    """The process-wide kernel cache shared by default ``build()`` calls."""
+    return _GLOBAL_CACHE
+
+
+def resolve_cache(cache: Any) -> Optional[KernelCache]:
+    """Normalise a ``cache`` argument: None -> global, False -> disabled."""
+    if cache is None:
+        return _GLOBAL_CACHE
+    if cache is False:
+        return None
+    if isinstance(cache, KernelCache):
+        return cache
+    raise TypeError(f"cache must be a KernelCache, None or False, got {type(cache)}")

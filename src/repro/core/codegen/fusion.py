@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import List
 
 from ..program import PrimFunc
-from ..stmt import Block, ForLoop, SeqStmt, Stmt
+from ..stmt import SeqStmt, Stmt
 
 
 def launch_groups(func: PrimFunc) -> List[Stmt]:

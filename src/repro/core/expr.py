@@ -9,8 +9,8 @@ of mutating existing ones.
 from __future__ import annotations
 
 import operator
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Mapping, Sequence, Tuple
 
 
 class Expr:

@@ -22,7 +22,7 @@ This reproduction provides an equivalent, explicit builder API::
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -31,7 +31,7 @@ from .axes import Axis
 from .buffers import SparseBuffer, match_sparse_buffer
 from .expr import BufferLoad, Expr, Var, wrap
 from .program import STAGE_COORDINATE, PrimFunc
-from .sparse_iteration import AxisOrGroup, FusedAxisGroup, SparseIteration, flatten_axes, fuse
+from .sparse_iteration import AxisOrGroup, SparseIteration, flatten_axes, fuse
 from .stmt import BufferStore, SeqStmt, Stmt
 
 

@@ -8,11 +8,11 @@ access sparse buffers in *coordinate space*.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
 
 from .axes import Axis
-from .expr import Expr, Var, substitute
-from .stmt import SeqStmt, Stmt, substitute_stmt
+from .expr import Expr, Var
+from .stmt import Stmt, substitute_stmt
 
 ITER_SPATIAL = "S"
 ITER_REDUCTION = "R"

@@ -14,9 +14,9 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..axes import Axis
 from ..buffers import SparseBuffer
-from ..expr import BufferLoad, Expr, Var, post_order, substitute, wrap
+from ..expr import BufferLoad, Expr, Var, substitute, wrap
 from ..program import STAGE_COORDINATE, PrimFunc
-from ..sparse_iteration import ITER_SPATIAL, SparseIteration, flatten_axes
+from ..sparse_iteration import ITER_SPATIAL, SparseIteration
 from ..stmt import BufferStore, SeqStmt, Stmt, collect_buffer_loads, collect_buffer_stores, substitute_stmt
 
 

@@ -31,7 +31,7 @@ def sparse_reorder(func: PrimFunc, iteration_name: str, new_order: Sequence[Axis
     new_flat = flatten_axes(new_order)
     if len(new_flat) != len(old_flat) or any(a not in old_flat for a in new_flat):
         raise ValueError(
-            f"sparse_reorder: new order must be a permutation of the axes of "
+            "sparse_reorder: new order must be a permutation of the axes of "
             f"{iteration_name!r}"
         )
     _check_dependencies(new_flat)
@@ -99,7 +99,7 @@ def _check_dependencies(order: Sequence[Axis]) -> None:
         if parent is not None and any(parent is a for a in order) and id(parent) not in seen:
             raise ValueError(
                 f"sparse_reorder: axis {axis.name!r} depends on {parent.name!r}, "
-                f"which must come first"
+                "which must come first"
             )
         seen.add(id(axis))
 

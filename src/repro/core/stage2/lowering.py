@@ -36,16 +36,9 @@ from ..expr import (
     Sub,
     Var,
     simplify,
-    structural_equal,
-    wrap,
 )
 from ..program import STAGE_COORDINATE, STAGE_POSITION, PrimFunc
-from ..sparse_iteration import (
-    ITER_REDUCTION,
-    FusedAxisGroup,
-    SparseIteration,
-    flatten_axes,
-)
+from ..sparse_iteration import ITER_REDUCTION, FusedAxisGroup, SparseIteration
 from ..stmt import (
     Block,
     BufferRegion,

@@ -17,13 +17,12 @@ execution exact while modelling the performance effects the paper studies.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
-from ..expr import Add, Expr, FloorDiv, FloorMod, IntImm, LT, Mul, Var, simplify, wrap
+from ..expr import Add, Expr, FloorDiv, FloorMod, IntImm, LT, Mul, Var, simplify
 from ..program import PrimFunc, STAGE_LOOP, STAGE_POSITION
 from ..stmt import (
     LOOP_PARALLEL,
-    LOOP_SERIAL,
     LOOP_THREAD_BINDING,
     LOOP_UNROLLED,
     LOOP_VECTORIZED,

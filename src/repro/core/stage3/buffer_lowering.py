@@ -19,24 +19,11 @@ and ``C[i, k]`` becomes ``C[i * feat_size + k]``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..axes import Axis, DenseFixedAxis, DenseVariableAxis, SparseFixedAxis, SparseVariableAxis
 from ..buffers import FlatBuffer, SparseBuffer
-from ..expr import (
-    Add,
-    BinaryOp,
-    BufferLoad,
-    Call,
-    Cast,
-    Expr,
-    IntImm,
-    Mul,
-    Not,
-    Select,
-    Var,
-    simplify,
-)
+from ..expr import Add, BinaryOp, BufferLoad, Call, Cast, Expr, IntImm, Mul, Not, Select, simplify
 from ..program import STAGE_LOOP, STAGE_POSITION, PrimFunc
 from ..stmt import (
     AssertStmt,

@@ -88,7 +88,6 @@ class ELLMatrix:
 
     # -- conversions -----------------------------------------------------------------
     def to_dense(self) -> np.ndarray:
-        rows = self.shape[0] if self.row_map is None else self.shape[0]
         dense = np.zeros(self.shape, dtype=np.float32)
         for local_row in range(self.num_rows):
             target = local_row if self.row_map is None else int(self.row_map[local_row])

@@ -13,13 +13,15 @@ thread block and delivers compile-time load balancing.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..core.nputils import ragged_arange
 from .csr import CSRMatrix
 from .ell import ELLMatrix, PAD
+
 
 
 @dataclass
@@ -79,9 +81,18 @@ class HybFormat:
 
     # -- construction -----------------------------------------------------------------
     def _build(self) -> None:
+        """Bucket every column partition with whole-array NumPy operations.
+
+        Equivalent to the obvious per-row loop (bucket ``b`` holds rows with
+        ``width[b-1] < len <= width[b]``; longer rows are split into
+        ``ceil(len / max_width)`` pieces that all land in the widest bucket)
+        but built from ragged-range index arithmetic, which is what keeps
+        repeated decomposition — the inner loop of the format tuner — cheap.
+        """
         partition_width = (self.source.cols + self.num_col_parts - 1) // self.num_col_parts
         source = self.source.to_scipy()
-        max_width = self.bucket_widths[-1]
+        widths = np.asarray(self.bucket_widths, dtype=np.int64)
+        max_width = int(widths[-1])
         for part in range(self.num_col_parts):
             lo = part * partition_width
             hi = min((part + 1) * partition_width, self.source.cols)
@@ -89,38 +100,38 @@ class HybFormat:
                 continue
             sub = source[:, lo:hi].tocsr()
             sub.sort_indices()
-            lengths = np.diff(sub.indptr)
-            # Rows per bucket: bucket b holds rows with width[b-1] < len <= width[b];
-            # rows longer than the largest bucket are split into ceil(len / max) rows.
-            rows_per_bucket: Dict[int, List[Tuple[int, np.ndarray, np.ndarray]]] = {
-                w: [] for w in self.bucket_widths
-            }
-            for row in range(sub.shape[0]):
-                length = int(lengths[row])
-                if length == 0:
-                    continue
-                cols = sub.indices[sub.indptr[row] : sub.indptr[row + 1]]
-                vals = sub.data[sub.indptr[row] : sub.indptr[row + 1]]
-                if length <= max_width:
-                    width = self._bucket_for(length)
-                    rows_per_bucket[width].append((row, cols, vals))
-                else:
-                    for start in range(0, length, max_width):
-                        piece_cols = cols[start : start + max_width]
-                        piece_vals = vals[start : start + max_width]
-                        rows_per_bucket[max_width].append((row, piece_cols, piece_vals))
+            lengths = np.diff(sub.indptr).astype(np.int64)
+
+            # One entry per ELL row: split long rows into max_width pieces.
+            piece_counts = np.where(lengths <= max_width, (lengths > 0).astype(np.int64),
+                                    -(-lengths // max_width))
+            entry_row = np.repeat(np.arange(sub.shape[0], dtype=np.int64), piece_counts)
+            entry_piece = ragged_arange(piece_counts)
+            entry_start = entry_piece * max_width
+            entry_len = np.minimum(lengths[entry_row] - entry_start, max_width)
+            slot_of_len = np.minimum(
+                np.searchsorted(widths, lengths[entry_row]), len(widths) - 1
+            )
+            entry_width = np.where(
+                lengths[entry_row] <= max_width, widths[slot_of_len], max_width
+            )
+
+            indptr = sub.indptr.astype(np.int64)
             for width in self.bucket_widths:
-                entries = rows_per_bucket[width]
-                if not entries:
+                sel = entry_width == width
+                num_rows = int(sel.sum())
+                if num_rows == 0:
                     continue
-                indices = np.full((len(entries), width), PAD, dtype=np.int64)
-                data = np.zeros((len(entries), width), dtype=np.float32)
-                row_map = np.zeros(len(entries), dtype=np.int64)
-                for slot, (row, cols, vals) in enumerate(entries):
-                    indices[slot, : len(cols)] = cols
-                    data[slot, : len(cols)] = vals
-                    row_map[slot] = row
-                ell = ELLMatrix((len(entries), hi - lo), indices, data, row_map=row_map)
+                row_map = entry_row[sel]
+                sel_len = entry_len[sel]
+                indices = np.full((num_rows, width), PAD, dtype=np.int64)
+                data = np.zeros((num_rows, width), dtype=np.float32)
+                slot = np.repeat(np.arange(num_rows, dtype=np.int64), sel_len)
+                col = ragged_arange(sel_len)
+                src = np.repeat(indptr[row_map] + entry_start[sel], sel_len) + col
+                indices[slot, col] = sub.indices[src]
+                data[slot, col] = sub.data[src]
+                ell = ELLMatrix((num_rows, hi - lo), indices, data, row_map=row_map)
                 self.buckets.append(HybBucket(part, width, ell, col_offset=lo))
 
     def _bucket_for(self, length: int) -> int:

@@ -3,7 +3,7 @@ paper's axis composition can express."""
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -11,7 +11,6 @@ weights while still feeding Tensor Core MMA instructions.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
 
 import numpy as np
 

@@ -10,18 +10,17 @@ per-operator framework overhead that both systems share.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..baselines import cusparse, dgl
+from ..baselines import dgl
 from ..formats.csr import CSRMatrix
 from ..formats.hyb import HybFormat
-from ..ops.spmm import spmm_csr_workload, spmm_hyb_workload, spmm_reference
+from ..ops.spmm import spmm_hyb_workload, spmm_reference
 from ..perf.device import DeviceSpec
-from ..perf.gpu_model import GPUModel, PerfReport
-from ..perf.workload import KernelWorkload
+from ..perf.gpu_model import GPUModel
 from .shared import gemm_workload_for_model, relu, relu_grad, softmax_cross_entropy
 
 

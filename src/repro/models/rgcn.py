@@ -10,7 +10,7 @@ time and GPU memory footprint.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict
 
 import numpy as np
 
@@ -24,7 +24,7 @@ from ..ops.rgms import (
     rgms_two_stage_workload,
 )
 from ..perf.device import DeviceSpec
-from ..perf.gpu_model import GPUModel, PerfReport
+from ..perf.gpu_model import GPUModel
 from ..perf.workload import KernelWorkload
 from .shared import relu
 

@@ -1,8 +1,12 @@
 """Sparse operators evaluated in the paper.
 
-Each operator module provides three layers:
+Each operator module provides up to four layers:
 
 * ``*_reference`` — NumPy ground-truth implementations used for correctness;
+* executable entry points (``spmm``, ``sddmm``, ``pruned_spmm``) — compile
+  the stage-I program and run it through a compile-once/run-many
+  :class:`~repro.runtime.session.Session` (vectorized executor, structural
+  kernel cache) returning plain arrays;
 * ``build_*_program`` — SparseTIR stage-I programs compiled through the full
   pipeline (used by tests and examples);
 * ``*_workload`` — analytic :class:`~repro.perf.workload.KernelWorkload`

@@ -11,7 +11,6 @@ badly (0.04-0.08x in the paper), which the model reproduces.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

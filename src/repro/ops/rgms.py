@@ -20,12 +20,11 @@ Two execution strategies are modelled:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from ..formats.csf import CSFTensor
-from ..formats.csr import CSRMatrix
 from ..formats.hyb import HybFormat
 from ..perf.device import DeviceSpec
 from ..perf.workload import BlockGroup, KernelWorkload

@@ -51,6 +51,24 @@ def sddmm_reference(csr: CSRMatrix, x: np.ndarray, y: np.ndarray) -> np.ndarray:
 
 
 # ---------------------------------------------------------------------------
+# Executable operator (compile-once/run-many Session path)
+# ---------------------------------------------------------------------------
+
+def sddmm(
+    csr: CSRMatrix, x: np.ndarray, y: np.ndarray, fuse_ij: bool = True, session=None
+) -> np.ndarray:
+    """Execute the SDDMM through the compiler pipeline and NumPy runtime.
+
+    Returns the new edge values in CSR order.  Repeated calls with the same
+    sparsity structure hit the session's structural kernel cache.
+    """
+    from ..runtime.session import get_default_session
+
+    session = session or get_default_session()
+    return session.sddmm(csr, x, y, fuse_ij=fuse_ij)
+
+
+# ---------------------------------------------------------------------------
 # SparseTIR program
 # ---------------------------------------------------------------------------
 

@@ -17,7 +17,7 @@ while its gather/scatter traffic advantage is only linear in the channels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List
 
 import numpy as np
 

@@ -61,6 +61,34 @@ def spmm_hyb_reference(hyb: HybFormat, features: np.ndarray) -> np.ndarray:
 
 
 # ---------------------------------------------------------------------------
+# Executable operator (compile-once/run-many Session path)
+# ---------------------------------------------------------------------------
+
+def spmm(
+    csr: CSRMatrix,
+    features: np.ndarray,
+    format: str = "csr",
+    num_col_parts: int = 1,
+    num_buckets: Optional[int] = None,
+    session=None,
+) -> np.ndarray:
+    """Execute ``A @ X`` through the compiler pipeline and NumPy runtime.
+
+    Compiles the stage-I program (CSR, or composable ``hyb`` when
+    ``format="hyb"``), runs it on the vectorized executor (interpreter
+    fallback) and returns the dense ``(rows, feat_size)`` result.  Repeated
+    calls with the same sparsity structure reuse the session's cached
+    decomposition and lowered kernel.
+    """
+    from ..runtime.session import get_default_session
+
+    session = session or get_default_session()
+    return session.spmm(
+        csr, features, format=format, num_col_parts=num_col_parts, num_buckets=num_buckets
+    )
+
+
+# ---------------------------------------------------------------------------
 # SparseTIR programs (compiled through the full pipeline)
 # ---------------------------------------------------------------------------
 

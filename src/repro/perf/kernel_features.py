@@ -9,16 +9,15 @@ builds for each operator and baseline.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..core.buffers import FlatBuffer, dtype_bytes
+from ..core.buffers import dtype_bytes
 from ..core.codegen.fusion import is_horizontally_fused, launch_groups
-from ..core.expr import BinaryOp, BufferLoad, Call, Expr, IntImm, Mul, Add, Sub, Var
+from ..core.expr import BinaryOp, BufferLoad, Call, Expr, IntImm, Sub
 from ..core.stmt import (
     Block,
-    BufferStore,
     ForLoop,
     IfThenElse,
     LOOP_THREAD_BINDING,
@@ -54,9 +53,13 @@ def extract_workload(kernel, overrides: Optional[Dict] = None) -> KernelWorkload
 
 
 def _binding_data(kernel) -> Dict[str, np.ndarray]:
-    data: Dict[str, np.ndarray] = {}
+    # Run-time defaults first: structurally-cached kernels carry the current
+    # workload's value arrays there rather than on the (stripped) buffers.
+    data: Dict[str, np.ndarray] = {
+        name: np.asarray(value) for name, value in getattr(kernel, "defaults", {}).items()
+    }
     for buf in list(kernel.func.buffers) + list(kernel.func.aux_buffers):
-        if buf.data is not None:
+        if buf.data is not None and buf.name not in data:
             data[buf.name] = np.asarray(buf.data)
     return data
 

@@ -1,5 +1,23 @@
-"""Runtime: NumPy-backed execution of lowered SparseTIR programs."""
+"""Runtime: NumPy-backed execution of lowered SparseTIR programs.
 
-from .executor import Executor, run_primfunc
+Two execution engines share identical semantics: the element-by-element
+:class:`Executor` (the numerical ground truth) and the batched
+:class:`VectorizedExecutor` fast path.  :class:`Session` is the
+compile-once/run-many entry point bundling format decomposition, kernel
+building (with structural caching) and engine selection.
+"""
 
-__all__ = ["Executor", "run_primfunc"]
+from .executor import Executor, prepare_arrays, run_primfunc
+from .session import Session, SessionStats, get_default_session
+from .vectorized import UnsupportedProgram, VectorizedExecutor
+
+__all__ = [
+    "Executor",
+    "VectorizedExecutor",
+    "UnsupportedProgram",
+    "prepare_arrays",
+    "run_primfunc",
+    "Session",
+    "SessionStats",
+    "get_default_session",
+]

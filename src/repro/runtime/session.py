@@ -1,0 +1,223 @@
+"""Session: the compile-once/run-many entry point of the runtime.
+
+A :class:`Session` bundles everything between "here is a sparse matrix" and
+"here is the result array":
+
+* **format decomposition caching** — composable-format decompositions
+  (``hyb(c, k)`` today) are memoised by sparsity-structure content, so the
+  tuner and repeated operator calls never re-bucket the same matrix;
+* **kernel building with structural caching** — every ``build()`` goes
+  through the session's :class:`~repro.core.codegen.cache.KernelCache`, so
+  identical programs are lowered once;
+* **execution engine selection** — kernels run on the vectorized fast path
+  with automatic interpreter fallback, and the session records which engine
+  served each run.
+
+Operator-level helpers (:meth:`Session.spmm`, :meth:`Session.sddmm`,
+:meth:`Session.pruned_spmm`) wrap the stage-I program builders in
+:mod:`repro.ops` and return plain NumPy arrays.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from ..core.codegen.build import Kernel, build
+from ..core.codegen.cache import KernelCache
+from ..core.program import PrimFunc
+
+
+@dataclass
+class SessionStats:
+    """Counters describing the compile/run activity of one session."""
+
+    builds: int = 0
+    kernel_cache_hits: int = 0
+    kernel_cache_misses: int = 0
+    format_cache_hits: int = 0
+    format_cache_misses: int = 0
+    vectorized_runs: int = 0
+    interpreted_runs: int = 0
+
+    @property
+    def runs(self) -> int:
+        return self.vectorized_runs + self.interpreted_runs
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "builds": self.builds,
+            "kernel_cache_hits": self.kernel_cache_hits,
+            "kernel_cache_misses": self.kernel_cache_misses,
+            "format_cache_hits": self.format_cache_hits,
+            "format_cache_misses": self.format_cache_misses,
+            "vectorized_runs": self.vectorized_runs,
+            "interpreted_runs": self.interpreted_runs,
+        }
+
+
+def _content_key(*parts: Any) -> str:
+    digest = hashlib.sha1()
+    for part in parts:
+        if isinstance(part, np.ndarray):
+            digest.update(np.ascontiguousarray(part).tobytes())
+        else:
+            digest.update(repr(part).encode())
+        digest.update(b"|")
+    return digest.hexdigest()
+
+
+class Session:
+    """Compile-once/run-many facade over decomposition, build and execution.
+
+    Parameters
+    ----------
+    cache:
+        The kernel cache to build through.  ``None`` creates a private cache;
+        pass :func:`~repro.core.codegen.cache.global_kernel_cache` to share
+        lowering work with plain ``build()`` calls, or ``False`` to disable
+        kernel caching.
+    engine:
+        Execution backend passed to :meth:`Kernel.run`: ``"auto"`` (default),
+        ``"vectorized"`` or ``"interpret"``.
+    format_cache_capacity:
+        LRU bound on memoised format decompositions (each entry holds a full
+        decomposition of one matrix, so this bounds session memory).
+    """
+
+    def __init__(
+        self,
+        cache: Optional[KernelCache] = None,
+        engine: str = "auto",
+        format_cache_capacity: int = 64,
+    ):
+        if format_cache_capacity <= 0:
+            raise ValueError("format_cache_capacity must be positive")
+        self.cache: Any = KernelCache() if cache is None else cache
+        self.engine = engine
+        self.stats = SessionStats()
+        self.format_cache_capacity = int(format_cache_capacity)
+        self._formats: "OrderedDict[str, Any]" = OrderedDict()
+
+    # -- compilation -----------------------------------------------------------
+    def build(self, func: PrimFunc, horizontal_fusion: bool = True) -> Kernel:
+        """Build *func* through the session's structural kernel cache."""
+        cache = self.cache
+        before = cache.stats.hits if isinstance(cache, KernelCache) else 0
+        kernel = build(func, horizontal_fusion=horizontal_fusion, cache=cache)
+        self.stats.builds += 1
+        if isinstance(cache, KernelCache):
+            if cache.stats.hits > before:
+                self.stats.kernel_cache_hits += 1
+            else:
+                self.stats.kernel_cache_misses += 1
+        return kernel
+
+    def run(
+        self,
+        func: PrimFunc,
+        bindings: Optional[Mapping[str, np.ndarray]] = None,
+        horizontal_fusion: bool = True,
+    ) -> Dict[str, np.ndarray]:
+        """Build (cached) and execute *func*, returning all buffer arrays."""
+        kernel = self.build(func, horizontal_fusion=horizontal_fusion)
+        return self.run_kernel(kernel, bindings)
+
+    def run_kernel(
+        self, kernel: Kernel, bindings: Optional[Mapping[str, np.ndarray]] = None
+    ) -> Dict[str, np.ndarray]:
+        """Execute an already-built kernel with the session's engine."""
+        result = kernel.run(bindings, engine=self.engine)
+        if kernel.last_engine == "vectorized":
+            self.stats.vectorized_runs += 1
+        else:
+            self.stats.interpreted_runs += 1
+        return result
+
+    # -- format decomposition --------------------------------------------------
+    def decompose_hyb(self, csr, num_col_parts: int = 1, num_buckets: Optional[int] = None):
+        """``HybFormat.from_csr`` memoised by sparsity content and parameters."""
+        from ..formats.hyb import HybFormat
+
+        key = _content_key(
+            "hyb", csr.shape, csr.indptr, csr.indices, csr.data, num_col_parts, num_buckets
+        )
+        hit = self._formats.get(key)
+        if hit is not None:
+            self._formats.move_to_end(key)
+            self.stats.format_cache_hits += 1
+            return hit
+        self.stats.format_cache_misses += 1
+        hyb = HybFormat.from_csr(csr, num_col_parts=num_col_parts, num_buckets=num_buckets)
+        self._formats[key] = hyb
+        while len(self._formats) > self.format_cache_capacity:
+            self._formats.popitem(last=False)
+        return hyb
+
+    # -- operators -------------------------------------------------------------
+    def spmm(
+        self,
+        csr,
+        features: np.ndarray,
+        format: str = "csr",
+        num_col_parts: int = 1,
+        num_buckets: Optional[int] = None,
+    ) -> np.ndarray:
+        """``A @ X`` through the full compile/execute pipeline.
+
+        ``format="csr"`` runs the Figure-3 CSR program; ``format="hyb"``
+        decomposes into the composable ``hyb`` format first (cached) and runs
+        the per-bucket ELL programs.
+        """
+        from ..ops.spmm import build_spmm_hyb_program, build_spmm_program
+
+        features = np.asarray(features, dtype=np.float32)
+        feat_size = features.shape[1]
+        if format == "csr":
+            func = build_spmm_program(csr, feat_size, features)
+        elif format == "hyb":
+            hyb = self.decompose_hyb(csr, num_col_parts=num_col_parts, num_buckets=num_buckets)
+            func = build_spmm_hyb_program(hyb, feat_size, features)
+        else:
+            raise ValueError(f"unknown SpMM format {format!r}; use 'csr' or 'hyb'")
+        out = self.run(func)
+        return out["C"].reshape(csr.rows, feat_size)
+
+    def sddmm(self, csr, x: np.ndarray, y: np.ndarray, fuse_ij: bool = True) -> np.ndarray:
+        """Sampled dense-dense matmul; returns the new edge values in CSR order."""
+        from ..ops.sddmm import build_sddmm_program
+
+        x = np.asarray(x, dtype=np.float32)
+        y = np.asarray(y, dtype=np.float32)
+        func = build_sddmm_program(csr, x.shape[1], x, y, fuse_ij=fuse_ij)
+        out = self.run(func)
+        return out["OUT"][: csr.nnz]
+
+    def pruned_spmm(self, bsr, x: np.ndarray) -> np.ndarray:
+        """``W @ X`` with a BSR (block-pruned) weight matrix."""
+        from ..ops.pruned_spmm import build_pruned_spmm_bsr_program
+
+        x = np.asarray(x, dtype=np.float32)
+        func = build_pruned_spmm_bsr_program(bsr, x.shape[1], x)
+        out = self.run(func)
+        return out["Y"].reshape(bsr.shape[0], x.shape[1])
+
+    def __repr__(self) -> str:
+        return f"Session(engine={self.engine!r}, stats={self.stats.as_dict()})"
+
+
+_DEFAULT_SESSION: Optional[Session] = None
+
+
+def get_default_session() -> Session:
+    """The process-wide session used by module-level operator helpers."""
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        from ..core.codegen.cache import global_kernel_cache
+
+        _DEFAULT_SESSION = Session(cache=global_kernel_cache())
+    return _DEFAULT_SESSION

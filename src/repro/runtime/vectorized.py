@@ -1,0 +1,635 @@
+"""Vectorized (whole-array) execution of stage-III SparseTIR programs.
+
+The scalar :class:`~repro.runtime.executor.Executor` interprets a lowered loop
+nest one element at a time; this module provides a *fast path* that executes
+the same program with whole-array NumPy operations.  It works by batched
+interpretation: every loop of a nest is expanded into flat *lane* arrays (one
+entry per iteration-space point, in serial loop order), every expression is
+evaluated once over all lanes, and stores become a single NumPy scatter
+(``ufunc.at`` for reductions, fancy assignment otherwise).
+
+This covers the loop nests the pipeline produces for SpMM, SDDMM and
+pruned SpMM over CSR / ELL / HYB / BSR — gather loads through ``indices``
+buffers, segment-style reduction into the output, fused-axis row recovery via
+``sparse_row_of_position``, and structural-zero masking for padded ELL slots
+and ``sparse_coord_to_pos`` misses.
+
+Exact-equivalence guarantees relative to the interpreter:
+
+* lanes are materialised in serial loop order, and reduction stores use
+  ``np.add.at`` which accumulates unbuffered in lane order, so floating-point
+  results are bit-identical to the element-by-element interpreter;
+* structural zeros are tracked with validity masks instead of exceptions:
+  an invalid index makes a load evaluate to 0 and a store drop its lane,
+  matching the interpreter's ``_StructuralZero`` semantics.
+
+Programs the batcher cannot prove safe (a store whose value reads a buffer
+written elsewhere in the same nest, lane-count blowups, unknown intrinsics)
+raise :class:`UnsupportedProgram`; callers such as
+:meth:`repro.core.codegen.build.Kernel.run` fall back to the interpreter, so
+the fast path is never a correctness risk.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.axes import (
+    Axis,
+    DenseFixedAxis,
+    DenseVariableAxis,
+    SparseFixedAxis,
+    SparseVariableAxis,
+)
+from ..core.expr import (
+    Add,
+    And,
+    BinaryOp,
+    BufferLoad,
+    Call,
+    Cast,
+    Div,
+    EQ,
+    Expr,
+    FloatImm,
+    FloorDiv,
+    FloorMod,
+    GE,
+    GT,
+    IntImm,
+    LE,
+    LT,
+    Max,
+    Min,
+    Mul,
+    NE,
+    Not,
+    Or,
+    Select,
+    StringImm,
+    Sub,
+    Var,
+    structural_equal,
+)
+from ..core.nputils import ragged_arange
+from ..core.program import STAGE_LOOP, PrimFunc
+from ..core.stage2.lowering import BINARY_SEARCH, ROW_UPPER_BOUND
+from ..core.stmt import (
+    AssertStmt,
+    Block,
+    BufferStore,
+    Evaluate,
+    ForLoop,
+    IfThenElse,
+    LetStmt,
+    SeqStmt,
+    Stmt,
+    collect_buffer_loads,
+    collect_buffer_stores,
+)
+
+
+class UnsupportedProgram(Exception):
+    """The program contains a construct the vectorized executor cannot batch."""
+
+
+#: Upper bound on the number of lanes a single loop nest may expand to before
+#: the executor bails out to the interpreter (guards against memory blowups).
+MAX_LANES = 1 << 26
+
+_BINOP_TABLE = {
+    Add: operator.add,
+    Sub: operator.sub,
+    Mul: operator.mul,
+    Div: operator.truediv,
+    FloorDiv: operator.floordiv,
+    FloorMod: operator.mod,
+    Min: np.minimum,
+    Max: np.maximum,
+    LT: operator.lt,
+    LE: operator.le,
+    GT: operator.gt,
+    GE: operator.ge,
+    EQ: operator.eq,
+    NE: operator.ne,
+    And: np.logical_and,
+    Or: np.logical_or,
+}
+
+_UNARY_CALLS = {"exp": np.exp, "tanh": np.tanh, "sqrt": np.sqrt, "log": np.log, "abs": np.abs}
+
+
+class _Lanes:
+    """One value (and optional structural-zero mask) per active lane."""
+
+    __slots__ = ("data", "invalid")
+
+    def __init__(self, data: Any, invalid: Optional[np.ndarray] = None):
+        self.data = data
+        self.invalid = invalid
+
+
+def _merge_invalid(*masks: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    merged: Optional[np.ndarray] = None
+    for mask in masks:
+        if mask is None:
+            continue
+        merged = mask if merged is None else (merged | mask)
+    return merged
+
+
+class VectorizedExecutor:
+    """Executes one stage-III PrimFunc with whole-array NumPy operations.
+
+    Raises :class:`UnsupportedProgram` (at construction or at :meth:`run`
+    time) when the program falls outside the vectorizable fragment; the
+    caller is expected to fall back to the scalar interpreter.
+    """
+
+    def __init__(self, func: PrimFunc):
+        if func.stage != STAGE_LOOP:
+            raise ValueError(f"VectorizedExecutor expects a stage-III program, got {func.stage}")
+        self.func = func
+        self.axes_by_name: Dict[str, Axis] = {axis.name: axis for axis in func.axes}
+        self.buffers_by_name = {
+            buf.name: buf for buf in list(func.buffers) + list(func.aux_buffers)
+        }
+        self.flat_by_name = {fb.name: fb for fb in func.flat_buffers}
+        # Per-store reduction residuals decided by the safety analysis:
+        # id(store) -> residual expression, or None for a plain store.
+        self._reduction_residual: Dict[int, Optional[Expr]] = {}
+        # Per-axis search structures for batched coordinate_to_position.
+        self._axis_lookup_cache: Dict[int, Tuple[np.ndarray, np.ndarray, int]] = {}
+        self._analyze()
+
+    # -- safety analysis -------------------------------------------------------
+    def _analyze(self) -> None:
+        """Prove each top-level loop nest safe to batch.
+
+        Within one nest, nothing may *read* a buffer the nest *writes*, with
+        a single exception: a self-accumulation ``B[e] = B[e] + r`` may read
+        its own target at exactly the stored index (that load becomes the
+        ``np.add.at`` accumulator).  Any other read of a written buffer — in
+        a residual (even at another index of the same buffer), a plain store
+        value, a store index, a loop bound, a condition or a let binding —
+        could observe a different interleaving than the serial interpreter,
+        so it is rejected and the caller falls back.  Two store statements
+        may not target the same buffer either.
+        """
+        body = self.func.body
+        nests = list(body.stmts) if isinstance(body, SeqStmt) else [body]
+        for nest in nests:
+            # Init statements run in their own pass (pass 1), so they form a
+            # separate store group from the compute-pass stores; written
+            # buffers of *both* passes are off-limits for ambient reads.
+            written_all = {s.buffer.name for s in collect_buffer_stores(nest)}
+            ambient_reads = {
+                load.buffer.name for load in _ambient_loads(nest)
+            }
+            conflicting = ambient_reads & written_all
+            if conflicting:
+                raise UnsupportedProgram(
+                    "loop bounds, conditions or indices read buffers written in "
+                    f"the same nest: {sorted(conflicting)}"
+                )
+            for stores in (_pass_stores(nest, "init"), _pass_stores(nest, "compute")):
+                self._analyze_nest(stores, written_all)
+
+    def _analyze_nest(self, stores: List[BufferStore], written_all: set) -> None:
+        seen: Dict[str, int] = {}
+        for store in stores:
+            seen[store.buffer.name] = seen.get(store.buffer.name, 0) + 1
+        for store in stores:
+            if len(store.indices) != 1:
+                raise UnsupportedProgram("stage-III stores must use a single flat index")
+            residual = self._match_reduction(store)
+            value_reads = {
+                load.buffer.name
+                for load in collect_buffer_loads(
+                    BufferStore(store.buffer, store.indices, residual)
+                    if residual is not None
+                    else store
+                )
+            }
+            conflicting = value_reads & written_all
+            if conflicting:
+                kind = "residual" if residual is not None else "value"
+                raise UnsupportedProgram(
+                    f"store {kind} reads buffers written in the same nest: "
+                    f"{sorted(conflicting)}"
+                )
+            if seen[store.buffer.name] > 1:
+                raise UnsupportedProgram(
+                    f"multiple stores to {store.buffer.name!r} in one nest"
+                )
+            self._reduction_residual[id(store)] = residual
+
+    def _match_reduction(self, store: BufferStore) -> Optional[Expr]:
+        """Match ``B[e] = B[e] + r`` and return ``r``, else None."""
+        value = store.value
+        if not isinstance(value, Add):
+            return None
+        for load, residual in ((value.a, value.b), (value.b, value.a)):
+            if (
+                isinstance(load, BufferLoad)
+                and load.buffer.name == store.buffer.name
+                and len(load.indices) == 1
+                and structural_equal(load.indices[0], store.indices[0])
+            ):
+                return residual
+        return None
+
+    # -- public API ------------------------------------------------------------
+    def run(self, bindings: Optional[Mapping[str, np.ndarray]] = None) -> Dict[str, np.ndarray]:
+        """Execute the program and return the array for every buffer."""
+        from .executor import prepare_arrays
+
+        arrays = prepare_arrays(self.func, bindings or {})
+        # Two-pass reduction-init strategy, mirroring the interpreter.
+        self._exec(self.func.body, {}, 1, arrays, mode="init")
+        self._exec(self.func.body, {}, 1, arrays, mode="compute")
+        return arrays
+
+    # -- statement execution ---------------------------------------------------
+    def _exec(
+        self,
+        stmt: Stmt,
+        env: Dict[Var, np.ndarray],
+        n: int,
+        arrays: Dict[str, np.ndarray],
+        mode: str,
+    ) -> None:
+        if n == 0:
+            return
+        if isinstance(stmt, SeqStmt):
+            for s in stmt.stmts:
+                self._exec(s, env, n, arrays, mode)
+            return
+        if isinstance(stmt, ForLoop):
+            new_env, total = self._expand_loop(stmt, env, n, arrays)
+            if total:
+                self._exec(stmt.body, new_env, total, arrays, mode)
+            return
+        if isinstance(stmt, Block):
+            if mode == "init":
+                if stmt.init is not None:
+                    self._exec(stmt.init, env, n, arrays, mode="compute")
+                self._exec_init_only(stmt.body, env, n, arrays)
+            else:
+                self._exec(stmt.body, env, n, arrays, mode)
+            return
+        if mode == "init":
+            return
+        if isinstance(stmt, BufferStore):
+            self._exec_store(stmt, env, n, arrays)
+            return
+        if isinstance(stmt, IfThenElse):
+            cond = self._eval(stmt.condition, env, n, arrays)
+            mask = np.asarray(cond.data, dtype=bool)
+            if mask.ndim == 0:
+                mask = np.full(n, bool(mask))
+            if cond.invalid is not None:
+                mask = mask & ~cond.invalid
+            then_n = int(mask.sum())
+            if then_n:
+                self._exec(stmt.then_case, _mask_env(env, mask), then_n, arrays, mode)
+            if stmt.else_case is not None:
+                inverse = ~mask
+                else_n = n - then_n
+                if else_n:
+                    self._exec(stmt.else_case, _mask_env(env, inverse), else_n, arrays, mode)
+            return
+        if isinstance(stmt, LetStmt):
+            value = self._eval(stmt.value, env, n, arrays)
+            if value.invalid is not None and bool(np.any(value.invalid)):
+                raise UnsupportedProgram("structural zero inside a let binding")
+            env[stmt.var] = _as_lanes(value.data, n)
+            self._exec(stmt.body, env, n, arrays, mode)
+            env.pop(stmt.var, None)
+            return
+        if isinstance(stmt, AssertStmt):
+            self._exec(stmt.body, env, n, arrays, mode)
+            return
+        if isinstance(stmt, Evaluate):
+            return
+        raise UnsupportedProgram(f"cannot batch statement of type {type(stmt).__name__}")
+
+    def _exec_init_only(
+        self, stmt: Stmt, env: Dict[Var, np.ndarray], n: int, arrays: Dict[str, np.ndarray]
+    ) -> None:
+        """Init pass: walk loops/blocks but execute only block inits."""
+        from .executor import _contains_init
+
+        if n == 0:
+            return
+        if isinstance(stmt, SeqStmt):
+            for s in stmt.stmts:
+                self._exec_init_only(s, env, n, arrays)
+            return
+        if isinstance(stmt, ForLoop):
+            if not _contains_init(stmt.body):
+                return
+            new_env, total = self._expand_loop(stmt, env, n, arrays)
+            if total:
+                self._exec_init_only(stmt.body, new_env, total, arrays)
+            return
+        if isinstance(stmt, Block):
+            if stmt.init is not None:
+                self._exec(stmt.init, env, n, arrays, mode="compute")
+            self._exec_init_only(stmt.body, env, n, arrays)
+            return
+        if isinstance(stmt, IfThenElse):
+            self._exec_init_only(stmt.then_case, env, n, arrays)
+            if stmt.else_case is not None:
+                self._exec_init_only(stmt.else_case, env, n, arrays)
+            return
+        return
+
+    def _expand_loop(
+        self, loop: ForLoop, env: Dict[Var, np.ndarray], n: int, arrays: Dict[str, np.ndarray]
+    ) -> Tuple[Dict[Var, np.ndarray], int]:
+        """Expand one loop level: each lane becomes ``extent`` child lanes."""
+        start = self._eval(loop.start, env, n, arrays)
+        extent = self._eval(loop.extent, env, n, arrays)
+        if start.invalid is not None or extent.invalid is not None:
+            raise UnsupportedProgram("structural zero inside loop bounds")
+
+        if np.ndim(start.data) == 0 and np.ndim(extent.data) == 0:
+            count = max(int(extent.data), 0)
+            total = n * count
+            if total > MAX_LANES:
+                raise UnsupportedProgram(f"loop nest expands to {total} lanes")
+            if total == 0:
+                return {}, 0
+            new_env = {var: np.repeat(values, count) for var, values in env.items()}
+            value = np.tile(
+                np.arange(int(start.data), int(start.data) + count, dtype=np.int64), n
+            )
+            new_env[loop.loop_var] = value
+            return new_env, total
+
+        starts = _as_lanes(start.data, n).astype(np.int64, copy=False)
+        counts = np.maximum(_as_lanes(extent.data, n).astype(np.int64, copy=False), 0)
+        total = int(counts.sum())
+        if total > MAX_LANES:
+            raise UnsupportedProgram(f"loop nest expands to {total} lanes")
+        if total == 0:
+            return {}, 0
+        parent = np.repeat(np.arange(n, dtype=np.int64), counts)
+        local = ragged_arange(counts)
+        new_env = {var: values[parent] for var, values in env.items()}
+        new_env[loop.loop_var] = starts[parent] + local
+        return new_env, total
+
+    def _exec_store(
+        self, store: BufferStore, env: Dict[Var, np.ndarray], n: int, arrays: Dict[str, np.ndarray]
+    ) -> None:
+        array = arrays[store.buffer.name]
+        index = self._eval(store.indices[0], env, n, arrays)
+        residual = self._reduction_residual.get(id(store))
+        value = self._eval(residual if residual is not None else store.value, env, n, arrays)
+
+        idx = _as_lanes(index.data, n).astype(np.int64, copy=False)
+        vals = _as_lanes(value.data, n)
+        dropped = (idx < 0) | (idx >= array.size)
+        dropped_any = _merge_invalid(
+            dropped if bool(dropped.any()) else None, index.invalid, value.invalid
+        )
+        if dropped_any is not None:
+            keep = ~dropped_any
+            if not bool(keep.any()):
+                return
+            idx = idx[keep]
+            vals = vals[keep] if np.ndim(vals) else vals
+        if residual is not None:
+            np.add.at(array, idx, vals)
+        else:
+            array[idx] = vals
+
+    # -- expression evaluation -------------------------------------------------
+    def _eval(
+        self, expr: Expr, env: Dict[Var, np.ndarray], n: int, arrays: Dict[str, np.ndarray]
+    ) -> _Lanes:
+        if isinstance(expr, IntImm):
+            return _Lanes(expr.value)
+        if isinstance(expr, FloatImm):
+            return _Lanes(expr.value)
+        if isinstance(expr, StringImm):
+            return _Lanes(expr.value)
+        if isinstance(expr, Var):
+            if expr not in env:
+                raise KeyError(f"unbound variable {expr.name!r} during execution")
+            return _Lanes(env[expr])
+        if isinstance(expr, BufferLoad):
+            return self._eval_load(expr, env, n, arrays)
+        if isinstance(expr, BinaryOp):
+            a = self._eval(expr.a, env, n, arrays)
+            b = self._eval(expr.b, env, n, arrays)
+            op = _BINOP_TABLE.get(type(expr))
+            if op is None:
+                raise UnsupportedProgram(f"unsupported binary op {type(expr).__name__}")
+            with np.errstate(divide="ignore", invalid="ignore"):
+                data = op(a.data, b.data)
+            return _Lanes(data, _merge_invalid(a.invalid, b.invalid))
+        if isinstance(expr, Not):
+            a = self._eval(expr.a, env, n, arrays)
+            return _Lanes(np.logical_not(a.data), a.invalid)
+        if isinstance(expr, Select):
+            cond = self._eval(expr.condition, env, n, arrays)
+            true = self._eval(expr.true_value, env, n, arrays)
+            false = self._eval(expr.false_value, env, n, arrays)
+            data = np.where(cond.data, true.data, false.data)
+            # Only the invalidity of the *chosen* branch counts: the
+            # interpreter never evaluates the unchosen branch.
+            branch_invalid: Optional[np.ndarray] = None
+            if true.invalid is not None or false.invalid is not None:
+                true_inv = true.invalid if true.invalid is not None else False
+                false_inv = false.invalid if false.invalid is not None else False
+                branch_invalid = np.where(
+                    np.asarray(cond.data, dtype=bool), true_inv, false_inv
+                )
+            return _Lanes(data, _merge_invalid(cond.invalid, branch_invalid))
+        if isinstance(expr, Cast):
+            value = self._eval(expr.value, env, n, arrays)
+            data = value.data
+            if expr.dtype.startswith("int"):
+                data = np.asarray(data).astype(np.int64) if np.ndim(data) else int(data)
+            elif expr.dtype.startswith("float"):
+                data = np.asarray(data).astype(np.float64) if np.ndim(data) else float(data)
+            return _Lanes(data, value.invalid)
+        if isinstance(expr, Call):
+            return self._eval_call(expr, env, n, arrays)
+        raise UnsupportedProgram(f"cannot batch expression of type {type(expr).__name__}")
+
+    def _eval_load(
+        self, expr: BufferLoad, env: Dict[Var, np.ndarray], n: int, arrays: Dict[str, np.ndarray]
+    ) -> _Lanes:
+        if len(expr.indices) != 1:
+            raise UnsupportedProgram("stage-III loads must use a single flat index")
+        array = arrays[expr.buffer.name]
+        index = self._eval(expr.indices[0], env, n, arrays)
+        if np.ndim(index.data) == 0:
+            idx = int(index.data)
+            bad = bool(index.invalid) if index.invalid is not None else False
+            if bad or idx < 0 or idx >= array.size:
+                return _Lanes(array.dtype.type(0))
+            return _Lanes(array[idx])
+        idx = index.data.astype(np.int64, copy=False)
+        bad = (idx < 0) | (idx >= array.size)
+        if index.invalid is not None:
+            bad = bad | index.invalid
+        if bool(bad.any()):
+            safe = np.where(bad, 0, idx)
+            values = np.where(bad, array.dtype.type(0), array[safe])
+        else:
+            values = array[idx]
+        # A load *consumes* the structural zero (it evaluates to 0), so the
+        # invalid mask does not propagate past it — same as the interpreter
+        # catching _StructuralZero at the BufferLoad boundary.
+        return _Lanes(values)
+
+    def _eval_call(
+        self, call: Call, env: Dict[Var, np.ndarray], n: int, arrays: Dict[str, np.ndarray]
+    ) -> _Lanes:
+        if call.func == BINARY_SEARCH:
+            axis_name = self._eval(call.args[0], env, n, arrays).data
+            parent = self._eval(call.args[1], env, n, arrays)
+            coord = self._eval(call.args[2], env, n, arrays)
+            axis = self.axes_by_name[axis_name]
+            parent_arr = _as_lanes(parent.data, n).astype(np.int64, copy=False)
+            coord_arr = _as_lanes(coord.data, n).astype(np.int64, copy=False)
+            positions = self._coords_to_positions(axis, parent_arr, coord_arr)
+            invalid = _merge_invalid(parent.invalid, coord.invalid, positions < 0)
+            return _Lanes(positions, invalid)
+        if call.func == ROW_UPPER_BOUND:
+            axis_name = self._eval(call.args[0], env, n, arrays).data
+            position = self._eval(call.args[1], env, n, arrays)
+            axis = self.axes_by_name[axis_name]
+            indptr = getattr(axis, "indptr", None)
+            if indptr is None:
+                raise ValueError(f"axis {axis_name!r} has no indptr for row search")
+            rows = np.searchsorted(indptr, _as_lanes(position.data, n), side="right") - 1
+            return _Lanes(rows.astype(np.int64, copy=False), position.invalid)
+        fn = _UNARY_CALLS.get(call.func)
+        if fn is not None:
+            value = self._eval(call.args[0], env, n, arrays)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                return _Lanes(fn(value.data), value.invalid)
+        raise UnsupportedProgram(f"unknown intrinsic {call.func!r}")
+
+    # -- batched coordinate compression ---------------------------------------
+    def _coords_to_positions(
+        self, axis: Axis, parent: np.ndarray, coord: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized ``axis.coordinate_to_position``; -1 marks structural zeros."""
+        if isinstance(axis, DenseFixedAxis):
+            return np.where((coord >= 0) & (coord < axis.length), coord, -1)
+        if isinstance(axis, DenseVariableAxis):
+            extents = axis.indptr[parent + 1] - axis.indptr[parent]
+            return np.where((coord >= 0) & (coord < extents), coord, -1)
+        if isinstance(axis, SparseVariableAxis):
+            keys, starts, stride = self._sorted_keys(axis)
+            targets = coord + parent * stride
+            hits = np.searchsorted(keys, targets)
+            safe = np.minimum(hits, max(len(keys) - 1, 0))
+            found = (hits < len(keys)) & (keys[safe] == targets) if len(keys) else np.zeros_like(targets, dtype=bool)
+            return np.where(found, hits - starts[parent], -1)
+        if isinstance(axis, SparseFixedAxis):
+            table = axis.indices.reshape(-1, axis.nnz_cols)
+            if parent.size * axis.nnz_cols > MAX_LANES:
+                raise UnsupportedProgram("ELL coordinate search too large to batch")
+            rows = table[parent]
+            match = rows == coord[:, None]
+            found = match.any(axis=1)
+            return np.where(found, match.argmax(axis=1), -1)
+        raise UnsupportedProgram(f"unsupported axis type {type(axis).__name__}")
+
+    def _sorted_keys(self, axis: SparseVariableAxis) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Per-row-disambiguated key array for one searchsorted over all rows."""
+        cached = self._axis_lookup_cache.get(id(axis))
+        if cached is not None:
+            return cached
+        indptr = axis.indptr
+        indices = axis.indices
+        stride = int(axis.length) + 2
+        row_of = np.repeat(np.arange(len(indptr) - 1, dtype=np.int64), np.diff(indptr))
+        keys = indices + row_of * stride
+        entry = (keys, indptr.astype(np.int64, copy=False), stride)
+        self._axis_lookup_cache[id(axis)] = entry
+        return entry
+
+
+def _ambient_loads(stmt: Stmt) -> List[BufferLoad]:
+    """Loads evaluated outside store values/indices: loop bounds, conditions,
+    let bindings and evaluated expressions of the whole nest."""
+    from ..core.expr import post_order
+    from ..core.stmt import post_order_stmts
+
+    loads: List[BufferLoad] = []
+
+    def visit(expr: Expr) -> None:
+        for sub in post_order(expr):
+            if isinstance(sub, BufferLoad):
+                loads.append(sub)
+
+    for node in post_order_stmts(stmt):
+        if isinstance(node, ForLoop):
+            visit(node.start)
+            visit(node.extent)
+        elif isinstance(node, IfThenElse):
+            visit(node.condition)
+        elif isinstance(node, LetStmt):
+            visit(node.value)
+        elif isinstance(node, AssertStmt):
+            visit(node.condition)
+        elif isinstance(node, Evaluate):
+            visit(node.value)
+    return loads
+
+
+def _pass_stores(stmt: Stmt, which: str) -> List[BufferStore]:
+    """Stores executed during the init pass or the compute pass of *stmt*."""
+    collected: List[BufferStore] = []
+
+    def walk(node: Stmt, in_init: bool) -> None:
+        if isinstance(node, BufferStore):
+            if (which == "init") == in_init:
+                collected.append(node)
+            return
+        if isinstance(node, Block):
+            if node.init is not None:
+                walk(node.init, True)
+            walk(node.body, in_init)
+            return
+        if isinstance(node, SeqStmt):
+            for child in node.stmts:
+                walk(child, in_init)
+            return
+        if isinstance(node, ForLoop):
+            walk(node.body, in_init)
+            return
+        if isinstance(node, IfThenElse):
+            walk(node.then_case, in_init)
+            if node.else_case is not None:
+                walk(node.else_case, in_init)
+            return
+        if isinstance(node, (LetStmt, AssertStmt)):
+            walk(node.body, in_init)
+            return
+
+    walk(stmt, False)
+    return collected
+
+
+def _as_lanes(data: Any, n: int) -> np.ndarray:
+    """Broadcast a scalar to an ``(n,)`` lane array; pass arrays through."""
+    if np.ndim(data) == 0:
+        return np.full(n, data)
+    return data
+
+
+def _mask_env(env: Dict[Var, np.ndarray], mask: np.ndarray) -> Dict[Var, np.ndarray]:
+    return {var: values[mask] for var, values in env.items()}

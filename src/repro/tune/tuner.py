@@ -9,7 +9,7 @@ from ..formats.csr import CSRMatrix
 from ..formats.hyb import HybFormat
 from ..ops.spmm import spmm_hyb_workload
 from ..perf.device import DeviceSpec
-from ..perf.gpu_model import GPUModel, PerfReport
+from ..perf.gpu_model import GPUModel
 from .search_space import ParameterSpace
 
 Objective = Callable[[Dict[str, Any]], float]
@@ -75,28 +75,40 @@ def tune_spmm(
     space: Optional[ParameterSpace] = None,
     max_trials: Optional[int] = None,
     seed: int = 0,
+    session=None,
 ) -> TuningResult:
     """Search composable-format and schedule parameters for the hyb SpMM.
 
-    The objective is the performance model's estimated kernel duration; the
-    hyb decomposition is rebuilt for every candidate column-partition /
-    bucket-count pair, which is exactly the joint format-and-schedule space
-    of the paper.
+    The objective is the performance model's estimated kernel duration; each
+    candidate column-partition / bucket-count pair is decomposed at most once
+    — through the :class:`~repro.runtime.session.Session`'s content-addressed
+    format cache when ``session`` is given (so repeated tuning runs over the
+    same matrix share decompositions and any kernels built from them), or a
+    run-local memo otherwise.  This is exactly the joint format-and-schedule
+    space of the paper.
     """
     from .search_space import spmm_search_space
 
     space = space or spmm_search_space()
-    cache: Dict[Any, HybFormat] = {}
+    local: Dict[Any, HybFormat] = {}
     model = GPUModel(device)
 
-    def objective(config: Dict[str, Any]) -> float:
-        key = (config["num_col_parts"], config["num_buckets"])
-        if key not in cache:
-            cache[key] = HybFormat.from_csr(
-                csr, num_col_parts=config["num_col_parts"], num_buckets=config["num_buckets"]
+    def decompose(num_col_parts: int, num_buckets: int) -> HybFormat:
+        if session is not None:
+            return session.decompose_hyb(
+                csr, num_col_parts=num_col_parts, num_buckets=num_buckets
             )
+        key = (num_col_parts, num_buckets)
+        if key not in local:
+            local[key] = HybFormat.from_csr(
+                csr, num_col_parts=num_col_parts, num_buckets=num_buckets
+            )
+        return local[key]
+
+    def objective(config: Dict[str, Any]) -> float:
+        hyb = decompose(config["num_col_parts"], config["num_buckets"])
         workload = spmm_hyb_workload(
-            cache[key], feat_size, device, threads_per_block=config["threads_per_block"]
+            hyb, feat_size, device, threads_per_block=config["threads_per_block"]
         )
         return model.estimate(workload).duration_us
 

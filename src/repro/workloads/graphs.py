@@ -9,8 +9,9 @@ applied relative to the real dataset.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -82,10 +83,23 @@ def available_graphs() -> List[str]:
     return list(GRAPH_SPECS.keys())
 
 
+#: Generated graphs memoised by (name, seed), LRU-bounded.  Generation is
+#: deterministic, so benchmarks and tests that sweep devices or feature sizes
+#: over the same dataset pay the sampling cost once per process.  The cached
+#: arrays are frozen (non-writeable) so an accidental in-place edit raises
+#: instead of silently corrupting every later call.
+_GRAPH_CACHE: "OrderedDict[Tuple[str, int], Graph]" = OrderedDict()
+_GRAPH_CACHE_CAPACITY = 32
+
+
 def synthetic_graph(name: str, seed: int = 0) -> Graph:
-    """Generate the named graph with its Table-1 statistics."""
+    """Generate the named graph with its Table-1 statistics (memoised)."""
     if name not in GRAPH_SPECS:
         raise KeyError(f"unknown graph {name!r}; available: {available_graphs()}")
+    cached = _GRAPH_CACHE.get((name, seed))
+    if cached is not None:
+        _GRAPH_CACHE.move_to_end((name, seed))
+        return cached
     spec = GRAPH_SPECS[name]
     csr = generate_adjacency(
         spec.nodes,
@@ -94,7 +108,13 @@ def synthetic_graph(name: str, seed: int = 0) -> Graph:
         powerlaw_exponent=spec.powerlaw_exponent,
         seed=seed,
     )
-    return Graph(spec, csr)
+    for array in (csr.indptr, csr.indices, csr.data):
+        array.setflags(write=False)
+    graph = Graph(spec, csr)
+    _GRAPH_CACHE[(name, seed)] = graph
+    while len(_GRAPH_CACHE) > _GRAPH_CACHE_CAPACITY:
+        _GRAPH_CACHE.popitem(last=False)
+    return graph
 
 
 def generate_adjacency(
@@ -147,8 +167,14 @@ def generate_adjacency(
 
     # Column (in-degree) popularity is also skewed: sample targets with Zipf
     # weights so hub columns emerge (this drives the cache behaviour of X).
+    # The inverse-CDF draw below consumes the same uniforms as
+    # ``rng.choice(num_nodes, size=degree, replace=True, p=popularity)`` and
+    # therefore produces identical graphs, but hoists the O(num_nodes) CDF
+    # setup out of the per-row loop.
     popularity = 1.0 / np.arange(1, num_nodes + 1) ** 0.8
     popularity /= popularity.sum()
+    cdf = popularity.cumsum()
+    cdf /= cdf[-1]
     permutation = rng.permutation(num_nodes)
 
     indptr = np.zeros(num_nodes + 1, dtype=np.int64)
@@ -162,11 +188,13 @@ def generate_adjacency(
         # Sample distinct targets: oversample with the skewed popularity and
         # top up uniformly so the requested degree (and edge count) is met.
         targets = np.unique(
-            permutation[rng.choice(num_nodes, size=degree, replace=True, p=popularity)]
+            permutation[cdf.searchsorted(rng.random(degree), side="right")]
         )
         if len(targets) < degree:
             missing = degree - len(targets)
-            pool = np.setdiff1d(np.arange(num_nodes), targets, assume_unique=False)
+            available = np.ones(num_nodes, dtype=bool)
+            available[targets] = False
+            pool = np.flatnonzero(available)
             extra = rng.choice(pool, size=min(missing, len(pool)), replace=False)
             targets = np.concatenate([targets, extra])
         columns.append(np.sort(targets))

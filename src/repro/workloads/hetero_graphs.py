@@ -8,13 +8,13 @@ relations), with node/edge counts scaled down for the largest datasets.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
 from ..formats.csf import CSFTensor
-from ..formats.csr import CSRMatrix
 from .graphs import generate_adjacency
 
 
@@ -80,17 +80,41 @@ def available_hetero_graphs() -> List[str]:
     return list(HETERO_SPECS.keys())
 
 
+#: Generated graphs memoised by (name, seed), LRU-bounded; generation is
+#: deterministic and the cached arrays are frozen (non-writeable) so an
+#: accidental in-place edit raises instead of corrupting later calls.
+_HETERO_CACHE: "OrderedDict[tuple, HeteroGraph]" = OrderedDict()
+_HETERO_CACHE_CAPACITY = 8
+
+
 def synthetic_hetero_graph(name: str, seed: int = 0) -> HeteroGraph:
-    """Generate the named heterogeneous graph with its Table-2 statistics."""
+    """Generate the named heterogeneous graph with its Table-2 statistics.
+
+    Memoised per (name, seed): device/feature sweeps over one dataset pay the
+    relation-by-relation sampling cost once per process.
+    """
     if name not in HETERO_SPECS:
         raise KeyError(
             f"unknown heterogeneous graph {name!r}; available: {available_hetero_graphs()}"
         )
+    cached = _HETERO_CACHE.get((name, seed))
+    if cached is not None:
+        _HETERO_CACHE.move_to_end((name, seed))
+        return cached
     spec = HETERO_SPECS[name]
     adjacency = generate_relational_adjacency(
         spec.nodes, spec.edges, spec.num_etypes, seed=seed
     )
-    return HeteroGraph(spec, adjacency)
+    for csr in adjacency.slices:
+        if csr is None:
+            continue
+        for array in (csr.indptr, csr.indices, csr.data):
+            array.setflags(write=False)
+    graph = HeteroGraph(spec, adjacency)
+    _HETERO_CACHE[(name, seed)] = graph
+    while len(_HETERO_CACHE) > _HETERO_CACHE_CAPACITY:
+        _HETERO_CACHE.popitem(last=False)
+    return graph
 
 
 def generate_relational_adjacency(
@@ -102,7 +126,6 @@ def generate_relational_adjacency(
     relations plus a long tail of tiny ones), which is the relation imbalance
     the fused RGMS kernel must load-balance across.
     """
-    rng = np.random.default_rng(seed)
     weights = 1.0 / np.arange(1, num_relations + 1) ** 1.1
     weights /= weights.sum()
     per_relation = np.maximum(1, np.round(weights * num_edges)).astype(np.int64)

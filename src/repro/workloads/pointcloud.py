@@ -10,7 +10,7 @@ that a submanifold 3x3x3 sparse convolution needs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

@@ -10,10 +10,9 @@ layers) and pruning patterns at a configurable density.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..formats.csr import CSRMatrix
 

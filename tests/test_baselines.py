@@ -15,7 +15,7 @@ from repro.baselines import (
     torchsparse,
     triton,
 )
-from repro.formats import BSRMatrix, CSRMatrix
+from repro.formats import BSRMatrix
 from repro.ops.rgms import RGMSProblem
 from repro.ops.spmm import spmm_reference
 from repro.perf.device import V100

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import Schedule, build, lower_sparse_iterations
 from repro.core.codegen.fusion import horizontal_fuse, is_horizontally_fused, launch_count, launch_groups
-from repro.formats import CSRMatrix, ELLMatrix
+from repro.formats import ELLMatrix
 from repro.formats.conversion import ell_rewrite_rule
 from repro.core import decompose_format
 from repro.ops.spmm import build_spmm_program

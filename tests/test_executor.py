@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import build
-from repro.core.program import STAGE_LOOP
 from repro.runtime.executor import Executor, run_primfunc
 from repro.formats import CSRMatrix, ELLMatrix
 from repro.ops.sddmm import build_sddmm_program, sddmm_reference

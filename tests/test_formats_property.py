@@ -5,6 +5,7 @@ values exactly, and the padding/occupancy statistics respect their bounds.
 """
 
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -18,6 +19,11 @@ from repro.formats import (
     HybFormat,
     SRBCRSMatrix,
 )
+
+
+# Long-running hypothesis suites: CI's fast lane skips them, the nightly
+# lane (and the local default) runs everything.
+pytestmark = pytest.mark.slow
 
 _SETTINGS = settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 

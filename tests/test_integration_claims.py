@@ -6,14 +6,12 @@ assert the *direction* of each headline result of the evaluation (who wins),
 not the exact factors.
 """
 
-import numpy as np
 import pytest
 
-from repro.baselines import cusparse, dgl, dgsparse, graphiler, torchsparse, triton
+from repro.baselines import cusparse, dgl, graphiler, torchsparse, triton
 from repro.formats import BSRMatrix, DBSRMatrix, HybFormat, SRBCRSMatrix
 from repro.models.rgcn import rgcn_speedup_table
 from repro.ops.batched import batched_sddmm_bsr_workload, batched_spmm_bsr_workload
-from repro.ops.rgms import RGMSProblem
 from repro.ops.sddmm import sddmm_workload
 from repro.ops.sparse_conv import sparse_conv_fused_tc_workload
 from repro.ops.spmm import spmm_csr_workload, spmm_hyb_workload

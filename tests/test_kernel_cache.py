@@ -1,0 +1,140 @@
+"""Unit tests for the structural kernel cache."""
+
+import numpy as np
+import pytest
+
+from repro.core import build
+from repro.core.codegen.cache import (
+    KernelCache,
+    global_kernel_cache,
+    resolve_cache,
+    structural_fingerprint,
+)
+from repro.formats import CSRMatrix
+from repro.ops.spmm import build_spmm_program, spmm_reference
+from repro.tune import tune_spmm
+from repro.perf.device import V100
+from repro.runtime import Session
+
+
+@pytest.fixture
+def csr():
+    return CSRMatrix.random(rows=14, cols=11, density=0.3, seed=7)
+
+
+class TestFingerprint:
+    def test_identical_structure_same_fingerprint(self, csr, rng):
+        x1 = rng.standard_normal((csr.cols, 4)).astype(np.float32)
+        x2 = rng.standard_normal((csr.cols, 4)).astype(np.float32)
+        f1 = structural_fingerprint(build_spmm_program(csr, 4, x1))
+        f2 = structural_fingerprint(build_spmm_program(csr, 4, x2))
+        assert f1 == f2  # value data does not participate
+
+    def test_different_structure_different_fingerprint(self, csr, rng):
+        x = rng.standard_normal((csr.cols, 4)).astype(np.float32)
+        base = structural_fingerprint(build_spmm_program(csr, 4, x))
+        assert base != structural_fingerprint(build_spmm_program(csr, 8, x[:, :4].repeat(2, 1)))
+        other = CSRMatrix.random(rows=14, cols=11, density=0.3, seed=8)
+        assert base != structural_fingerprint(
+            build_spmm_program(other, 4, x)
+        )  # same shapes, different sparsity pattern
+
+    def test_config_participates(self, csr, rng):
+        func = build_spmm_program(csr, 4, rng.standard_normal((csr.cols, 4)).astype(np.float32))
+        assert structural_fingerprint(func, {"horizontal_fusion": True}) != structural_fingerprint(
+            func, {"horizontal_fusion": False}
+        )
+
+
+class TestKernelCache:
+    def test_repeated_build_hits(self, csr, rng):
+        cache = KernelCache()
+        x = rng.standard_normal((csr.cols, 4)).astype(np.float32)
+        build(build_spmm_program(csr, 4, x), cache=cache)
+        assert (cache.stats.hits, cache.stats.misses) == (0, 1)
+        build(build_spmm_program(csr, 4, x), cache=cache)
+        assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+        assert len(cache) == 1
+
+    def test_cached_kernel_rebinds_new_data(self, csr, rng):
+        """A cache hit must execute with the *new* program's value arrays."""
+        cache = KernelCache()
+        x1 = rng.standard_normal((csr.cols, 4)).astype(np.float32)
+        x2 = rng.standard_normal((csr.cols, 4)).astype(np.float32)
+        k1 = build(build_spmm_program(csr, 4, x1), cache=cache)
+        k2 = build(build_spmm_program(csr, 4, x2), cache=cache)
+        assert cache.stats.hits == 1
+        assert k2.func is k1.func  # the lowered loop nest is shared
+        out1 = k1.run()["C"].reshape(csr.rows, 4)
+        out2 = k2.run()["C"].reshape(csr.rows, 4)
+        assert np.allclose(out1, spmm_reference(csr, x1), atol=1e-4)
+        assert np.allclose(out2, spmm_reference(csr, x2), atol=1e-4)
+
+    def test_cache_hit_does_not_leak_first_builds_data(self, csr, rng):
+        """A later build that leaves a buffer unbound must see zeros, not the
+        value arrays of whichever build populated the cache entry."""
+        cache = KernelCache()
+        x = rng.standard_normal((csr.cols, 4)).astype(np.float32)
+        build(build_spmm_program(csr, 4, x), cache=cache)
+        k2 = build(build_spmm_program(csr, 4), cache=cache)  # features unbound
+        assert cache.stats.hits == 1
+        assert np.all(k2.run()["C"] == 0.0)
+
+    def test_cache_entries_do_not_pin_value_arrays(self, csr, rng):
+        cache = KernelCache()
+        x = rng.standard_normal((csr.cols, 4)).astype(np.float32)
+        build(build_spmm_program(csr, 4, x), cache=cache)
+        (lowered, stage2) = next(iter(cache._entries.values()))
+        assert all(buf.data is None for buf in lowered.buffers)
+        assert stage2 is not None
+        assert all(buf.data is None for buf in stage2.buffers)
+
+    def test_different_sparsity_misses(self, csr, rng):
+        cache = KernelCache()
+        x = rng.standard_normal((csr.cols, 4)).astype(np.float32)
+        build(build_spmm_program(csr, 4, x), cache=cache)
+        other = CSRMatrix.random(rows=14, cols=11, density=0.3, seed=9)
+        build(build_spmm_program(other, 4, x), cache=cache)
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2
+
+    def test_lru_eviction(self, csr, rng):
+        cache = KernelCache(capacity=1)
+        x = rng.standard_normal((csr.cols, 4)).astype(np.float32)
+        build(build_spmm_program(csr, 4, x), cache=cache)
+        build(build_spmm_program(csr, 8, np.hstack([x, x])), cache=cache)
+        assert cache.stats.evictions == 1
+        build(build_spmm_program(csr, 4, x), cache=cache)  # evicted -> miss
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 3
+
+    def test_disable_with_false(self, csr, rng):
+        x = rng.standard_normal((csr.cols, 4)).astype(np.float32)
+        before = global_kernel_cache().stats.lookups
+        build(build_spmm_program(csr, 4, x), cache=False)
+        assert global_kernel_cache().stats.lookups == before
+
+    def test_resolve_cache_validates(self):
+        assert resolve_cache(None) is global_kernel_cache()
+        assert resolve_cache(False) is None
+        with pytest.raises(TypeError):
+            resolve_cache("yes")
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            KernelCache(capacity=0)
+
+
+class TestTunerReuse:
+    def test_tuner_decomposes_each_config_at_most_once(self):
+        from repro.workloads.graphs import generate_adjacency
+
+        graph = generate_adjacency(300, 2400, "powerlaw", seed=4)
+        session = Session()
+        tune_spmm(graph, 32, V100, max_trials=12, seed=0, session=session)
+        first_misses = session.stats.format_cache_misses
+        assert first_misses <= 12
+        # A second tuning run over the same matrix re-uses every decomposition.
+        tune_spmm(graph, 64, V100, max_trials=12, seed=0, session=session)
+        assert session.stats.format_cache_misses == first_misses
+        assert session.stats.format_cache_hits > 0

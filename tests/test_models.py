@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.formats import CSRMatrix
 from repro.models import graphsage, minkowski, rgcn
 from repro.models.shared import relu, relu_grad, softmax, softmax_cross_entropy
 from repro.perf.device import V100

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.formats import BSRMatrix, CSRMatrix
+from repro.formats import BSRMatrix
 from repro.ops import batched, rgms, sparse_conv
 from repro.perf.device import V100
 from repro.perf.gpu_model import GPUModel

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.formats import CSRMatrix, HybFormat
+from repro.formats import HybFormat
 from repro.ops import sddmm, spmm
 from repro.ops.common import ceil_div, dense_reuse_miss_rate, split_row_blocks, value_bytes
 from repro.perf.device import V100

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.perf.cache import CacheHierarchy, LRUCache, reuse_distance_hit_rate
-from repro.perf.device import RTX3070, V100, DeviceSpec, device_by_name
+from repro.perf.device import RTX3070, V100, device_by_name
 from repro.perf.gpu_model import GPUModel, PerfReport
 from repro.perf.tensor_core import MMA_SHAPES, cuda_core_time_us, mma_tiles, padding_waste, tensor_core_time_us
 from repro.perf.workload import BlockGroup, KernelWorkload

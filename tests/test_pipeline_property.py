@@ -17,6 +17,11 @@ from repro.core import decompose_format
 from repro.ops.sddmm import build_sddmm_program, sddmm_reference
 from repro.ops.spmm import build_spmm_hyb_program, build_spmm_program, spmm_reference
 
+
+# Long-running hypothesis suites: CI's fast lane skips them, the nightly
+# lane (and the local default) runs everything.
+pytestmark = pytest.mark.slow
+
 _SETTINGS = settings(
     max_examples=12,
     deadline=None,

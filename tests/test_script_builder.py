@@ -121,7 +121,7 @@ def test_fused_axes_in_builder():
 def test_sparse_iteration_validation():
     b = ProgramBuilder("p")
     i = b.dense_fixed("I", 2)
-    a = b.match_sparse_buffer("A", [i])
+    b.match_sparse_buffer("A", [i])
     from repro.core.expr import Var
 
     with pytest.raises(ValueError):

@@ -1,0 +1,102 @@
+"""Unit tests for the compile-once/run-many Session API."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.formats.bsr import BSRMatrix
+from repro.ops import pruned_spmm as pruned_ops
+from repro.ops import sddmm as sddmm_ops
+from repro.ops import spmm as spmm_ops
+from repro.runtime import Session, get_default_session
+
+
+@pytest.fixture
+def csr():
+    return CSRMatrix.random(rows=18, cols=13, density=0.25, seed=3)
+
+
+class TestSessionOps:
+    def test_spmm_csr(self, csr, rng):
+        x = rng.standard_normal((csr.cols, 5)).astype(np.float32)
+        session = Session()
+        out = session.spmm(csr, x)
+        assert out.shape == (csr.rows, 5)
+        assert np.allclose(out, spmm_ops.spmm_reference(csr, x), atol=1e-4)
+        assert session.stats.vectorized_runs == 1
+
+    def test_spmm_hyb(self, csr, rng):
+        x = rng.standard_normal((csr.cols, 5)).astype(np.float32)
+        session = Session()
+        out = session.spmm(csr, x, format="hyb", num_col_parts=2)
+        assert np.allclose(out, spmm_ops.spmm_reference(csr, x), atol=1e-4)
+        assert session.stats.format_cache_misses == 1
+        session.spmm(csr, x, format="hyb", num_col_parts=2)
+        assert session.stats.format_cache_hits == 1
+        assert session.stats.kernel_cache_hits == 1
+
+    def test_spmm_unknown_format(self, csr, rng):
+        with pytest.raises(ValueError):
+            Session().spmm(csr, rng.standard_normal((csr.cols, 2)), format="coo")
+
+    def test_sddmm(self, csr, rng):
+        x = rng.standard_normal((csr.rows, 4)).astype(np.float32)
+        y = rng.standard_normal((4, csr.cols)).astype(np.float32)
+        out = Session().sddmm(csr, x, y)
+        assert out.shape == (csr.nnz,)
+        assert np.allclose(out, sddmm_ops.sddmm_reference(csr, x, y), atol=1e-4)
+
+    def test_pruned_spmm(self, rng):
+        dense = (rng.random((12, 20)) < 0.3).astype(np.float32) * rng.standard_normal(
+            (12, 20)
+        ).astype(np.float32)
+        bsr = BSRMatrix.from_dense(dense, 4)
+        x = rng.standard_normal((bsr.shape[1], 3)).astype(np.float32)
+        out = Session().pruned_spmm(bsr, x)
+        assert np.allclose(out, pruned_ops.pruned_spmm_reference(bsr, x), atol=1e-4)
+
+
+class TestCompileOnceRunMany:
+    def test_repeated_op_calls_lower_once(self, csr, rng):
+        session = Session()
+        for _ in range(3):
+            x = rng.standard_normal((csr.cols, 4)).astype(np.float32)
+            session.spmm(csr, x)
+        assert session.stats.builds == 3
+        assert session.stats.kernel_cache_misses == 1
+        assert session.stats.kernel_cache_hits == 2
+
+    def test_engine_interpret(self, csr, rng):
+        session = Session(engine="interpret")
+        session.spmm(csr, rng.standard_normal((csr.cols, 2)).astype(np.float32))
+        assert session.stats.interpreted_runs == 1
+        assert session.stats.vectorized_runs == 0
+
+    def test_engines_agree_through_session(self, csr, rng):
+        x = rng.standard_normal((csr.cols, 4)).astype(np.float32)
+        fast = Session(engine="vectorized").spmm(csr, x)
+        slow = Session(engine="interpret").spmm(csr, x)
+        assert np.array_equal(fast, slow)
+
+
+class TestModuleLevelOps:
+    def test_op_entry_points_share_default_session(self, csr, rng):
+        x = rng.standard_normal((csr.cols, 3)).astype(np.float32)
+        default = get_default_session()
+        runs = default.stats.runs
+        out = spmm_ops.spmm(csr, x)
+        assert np.allclose(out, spmm_ops.spmm_reference(csr, x), atol=1e-4)
+        assert get_default_session().stats.runs == runs + 1
+
+    def test_sddmm_entry_point(self, csr, rng):
+        x = rng.standard_normal((csr.rows, 3)).astype(np.float32)
+        y = rng.standard_normal((3, csr.cols)).astype(np.float32)
+        out = sddmm_ops.sddmm(csr, x, y)
+        assert np.allclose(out, sddmm_ops.sddmm_reference(csr, x, y), atol=1e-4)
+
+    def test_pruned_entry_point(self, rng):
+        dense = (rng.random((8, 8)) < 0.4).astype(np.float32)
+        bsr = BSRMatrix.from_dense(dense, 2)
+        x = rng.standard_normal((8, 2)).astype(np.float32)
+        out = pruned_ops.pruned_spmm(bsr, x)
+        assert np.allclose(out, pruned_ops.pruned_spmm_reference(bsr, x), atol=1e-4)

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import build, sparse_fuse, sparse_reorder
-from repro.formats.csr import CSRMatrix
 from repro.ops.sddmm import build_sddmm_program, sddmm_reference
 from repro.ops.spmm import build_spmm_program, spmm_reference
 

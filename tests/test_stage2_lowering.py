@@ -6,7 +6,7 @@ import pytest
 from repro.core import lower_sparse_iterations
 from repro.core.program import STAGE_POSITION
 from repro.core.stage2.lowering import BINARY_SEARCH, materialize_aux_buffers
-from repro.core.stmt import Block, ForLoop, find_blocks, find_loops
+from repro.core.stmt import find_blocks, find_loops
 from repro.core.expr import Call, post_order
 from repro.core.stmt import collect_buffer_loads
 from repro.ops.sddmm import build_sddmm_program

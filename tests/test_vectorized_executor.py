@@ -1,0 +1,220 @@
+"""Equivalence tests: vectorized executor output == interpreter output.
+
+Every operator/format combination the fast path claims to support is
+compiled through the full pipeline and executed by both engines; results
+must match *bit for bit* (lanes are materialised in serial loop order and
+reductions accumulate unbuffered, so even float32 rounding agrees).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Schedule, build, lower_sparse_iterations
+from repro.formats import CSRMatrix, HybFormat
+from repro.formats.bsr import BSRMatrix
+from repro.ops.pruned_spmm import build_pruned_spmm_bsr_program, pruned_spmm_reference
+from repro.ops.sddmm import build_sddmm_program, sddmm_reference
+from repro.ops.spmm import build_spmm_hyb_program, build_spmm_program, spmm_reference
+from repro.runtime import Executor, UnsupportedProgram, VectorizedExecutor
+
+
+def _both_engines(func):
+    kernel = build(func, cache=False)
+    interpreted = kernel.run(engine="interpret")
+    vectorized = kernel.run(engine="vectorized")
+    assert kernel.last_engine == "vectorized"
+    return interpreted, vectorized
+
+
+def _assert_identical(interpreted, vectorized):
+    assert interpreted.keys() == vectorized.keys()
+    for name in interpreted:
+        assert np.array_equal(interpreted[name], vectorized[name]), name
+
+
+@pytest.fixture
+def matrices(rng):
+    dense = (rng.random((23, 17)) < 0.3).astype(np.float32) * rng.standard_normal(
+        (23, 17)
+    ).astype(np.float32)
+    dense[4] = 0.0  # empty row
+    dense[9, :15] = rng.standard_normal(15)  # heavy row
+    return CSRMatrix.from_dense(dense)
+
+
+class TestSpMMEquivalence:
+    @pytest.mark.parametrize("feat_size", [1, 3, 8])
+    def test_csr(self, matrices, rng, feat_size):
+        x = rng.standard_normal((matrices.cols, feat_size)).astype(np.float32)
+        interp, vec = _both_engines(build_spmm_program(matrices, feat_size, x))
+        _assert_identical(interp, vec)
+        assert np.allclose(
+            vec["C"].reshape(matrices.rows, feat_size),
+            spmm_reference(matrices, x),
+            atol=1e-4,
+        )
+
+    @pytest.mark.parametrize("num_col_parts,num_buckets", [(1, None), (2, 3), (4, 1)])
+    def test_hyb(self, matrices, rng, num_col_parts, num_buckets):
+        """ELL buckets exercise padded (-1) slots, row_map gather-scatter."""
+        x = rng.standard_normal((matrices.cols, 4)).astype(np.float32)
+        hyb = HybFormat.from_csr(
+            matrices, num_col_parts=num_col_parts, num_buckets=num_buckets
+        )
+        interp, vec = _both_engines(build_spmm_hyb_program(hyb, 4, x))
+        _assert_identical(interp, vec)
+        assert np.allclose(
+            vec["C"].reshape(matrices.rows, 4), spmm_reference(matrices, x), atol=1e-4
+        )
+
+    def test_scheduled_program(self, matrices, rng):
+        """Stage-II loop transformations stay inside the supported fragment."""
+        x = rng.standard_normal((matrices.cols, 8)).astype(np.float32)
+        stage2 = lower_sparse_iterations(build_spmm_program(matrices, 8, x))
+        schedule = Schedule(stage2)
+        loops = schedule.get_loops("spmm_compute")
+        schedule.bind(loops[0], "blockIdx.x")
+        schedule.bind(loops[-1], "threadIdx.x")
+        interp, vec = _both_engines(schedule.func)
+        _assert_identical(interp, vec)
+
+
+class TestSDDMMEquivalence:
+    @pytest.mark.parametrize("fuse_ij", [True, False])
+    def test_sddmm(self, matrices, rng, fuse_ij):
+        x = rng.standard_normal((matrices.rows, 5)).astype(np.float32)
+        y = rng.standard_normal((5, matrices.cols)).astype(np.float32)
+        interp, vec = _both_engines(
+            build_sddmm_program(matrices, 5, x, y, fuse_ij=fuse_ij)
+        )
+        _assert_identical(interp, vec)
+        assert np.allclose(vec["OUT"], sddmm_reference(matrices, x, y), atol=1e-4)
+
+
+class TestPrunedSpMMEquivalence:
+    @pytest.mark.parametrize("block_size", [2, 4])
+    def test_bsr(self, rng, block_size):
+        dense = (rng.random((16, 24)) < 0.25).astype(np.float32) * rng.standard_normal(
+            (16, 24)
+        ).astype(np.float32)
+        dense[4:8] = 0.0  # an empty block row
+        bsr = BSRMatrix.from_dense(dense, block_size)
+        x = rng.standard_normal((bsr.shape[1], 6)).astype(np.float32)
+        interp, vec = _both_engines(
+            build_pruned_spmm_bsr_program(bsr, 6, x)
+        )
+        _assert_identical(interp, vec)
+        assert np.allclose(
+            vec["Y"].reshape(bsr.shape[0], 6), pruned_spmm_reference(bsr, x), atol=1e-4
+        )
+
+
+class TestEngineSemantics:
+    def test_stale_output_and_empty_rows(self, matrices, rng):
+        """Reduction init only touches rows with a non-empty domain — both engines."""
+        x = rng.standard_normal((matrices.cols, 3)).astype(np.float32)
+        kernel = build(build_spmm_program(matrices, 3, x), cache=False)
+        stale = np.full(matrices.rows * 3, 123.0, dtype=np.float32)
+        interp = kernel.run({"C": stale.copy()}, engine="interpret")
+        vec = kernel.run({"C": stale.copy()}, engine="vectorized")
+        assert np.array_equal(interp["C"], vec["C"])
+        lengths = matrices.row_lengths()
+        empty = np.repeat(lengths == 0, 3)
+        assert np.all(vec["C"][empty] == 123.0)
+
+    def test_bindings_override(self, matrices, rng):
+        x = rng.standard_normal((matrices.cols, 3)).astype(np.float32)
+        other = rng.standard_normal((matrices.cols, 3)).astype(np.float32)
+        kernel = build(build_spmm_program(matrices, 3, x), cache=False)
+        out = kernel.run({"B": other.reshape(-1)})
+        assert np.allclose(
+            out["C"].reshape(matrices.rows, 3), spmm_reference(matrices, other), atol=1e-4
+        )
+
+    def test_unsupported_statement_falls_back(self, matrices, rng):
+        """A store whose value reads another buffer written in the same nest
+        is outside the fragment: engine="vectorized" raises, "auto" falls
+        back to the interpreter and still produces the right answer."""
+        from repro.core.buffers import FlatBuffer
+        from repro.core.expr import Var
+        from repro.core.program import STAGE_LOOP, PrimFunc
+        from repro.core.stmt import BufferStore, ForLoop, SeqStmt
+
+        a = FlatBuffer("a", 4)
+        b = FlatBuffer("b", 4)
+        i = Var("i")
+        body = ForLoop(
+            i, 0, 4, SeqStmt([BufferStore(a, [i], 1.0), BufferStore(b, [i], a[i] + 1.0)])
+        )
+        func = PrimFunc("chained", axes=[], buffers=[], body=body,
+                        stage=STAGE_LOOP, flat_buffers=[a, b])
+        with pytest.raises(UnsupportedProgram):
+            VectorizedExecutor(func)
+        kernel = build(func, cache=False)
+        out = kernel.run(engine="auto")
+        assert kernel.last_engine == "interpret"
+        assert np.allclose(out["b"], 2.0)
+        assert np.array_equal(out["b"], Executor(func).run()["b"])
+
+    def test_vectorized_stays_strict_after_auto_fallback(self, matrices, rng):
+        """Once "auto" has fallen back, demanding "vectorized" must still
+        raise instead of silently running the interpreter."""
+        from repro.core.buffers import FlatBuffer
+        from repro.core.expr import Var
+        from repro.core.program import STAGE_LOOP, PrimFunc
+        from repro.core.stmt import BufferStore, ForLoop, SeqStmt
+
+        a = FlatBuffer("a", 4)
+        b = FlatBuffer("b", 4)
+        i = Var("i")
+        body = ForLoop(
+            i, 0, 4, SeqStmt([BufferStore(a, [i], 1.0), BufferStore(b, [i], a[i] + 1.0)])
+        )
+        func = PrimFunc("chained", axes=[], buffers=[], body=body,
+                        stage=STAGE_LOOP, flat_buffers=[a, b])
+        kernel = build(func, cache=False)
+        kernel.run(engine="auto")
+        assert kernel.last_engine == "interpret"
+        with pytest.raises(UnsupportedProgram):
+            kernel.run(engine="vectorized")
+
+    def test_residual_reading_own_target_at_other_index_rejected(self):
+        """``B[i+1] = B[i+1] + B[i]`` is a loop-carried dependency, not a
+        reduction: the fast path must refuse it (and "auto" must produce the
+        interpreter's serial result)."""
+        from repro.core.buffers import FlatBuffer
+        from repro.core.expr import Var
+        from repro.core.program import STAGE_LOOP, PrimFunc
+        from repro.core.stmt import BufferStore, ForLoop
+
+        b = FlatBuffer("b", 5)
+        i = Var("i")
+        body = ForLoop(i, 0, 4, BufferStore(b, [i + 1], b[i + 1] + b[i]))
+        func = PrimFunc("scan", axes=[], buffers=[], body=body,
+                        stage=STAGE_LOOP, flat_buffers=[b])
+        with pytest.raises(UnsupportedProgram):
+            VectorizedExecutor(func)
+        kernel = build(func, cache=False)
+        out = kernel.run({"b": np.ones(5, dtype=np.float32)})
+        assert kernel.last_engine == "interpret"
+        assert np.array_equal(out["b"], [1.0, 2.0, 3.0, 4.0, 5.0])
+
+    def test_loop_bound_reading_written_buffer_rejected(self):
+        from repro.core.buffers import FlatBuffer
+        from repro.core.expr import Var
+        from repro.core.program import STAGE_LOOP, PrimFunc
+        from repro.core.stmt import BufferStore, ForLoop
+
+        n = FlatBuffer("n", 1, dtype="int32")
+        i = Var("i")
+        body = ForLoop(i, 0, n[0], BufferStore(n, [0], 0))
+        func = PrimFunc("self_bound", axes=[], buffers=[], body=body,
+                        stage=STAGE_LOOP, flat_buffers=[n])
+        with pytest.raises(UnsupportedProgram):
+            VectorizedExecutor(func)
+
+    def test_fast_path_is_used_by_default(self, matrices, rng):
+        x = rng.standard_normal((matrices.cols, 2)).astype(np.float32)
+        kernel = build(build_spmm_program(matrices, 2, x), cache=False)
+        kernel.run()
+        assert kernel.last_engine == "vectorized"
