@@ -160,16 +160,20 @@ def build(
 ) -> Kernel:
     """Lower a program (from any stage) to stage III and wrap it in a Kernel.
 
-    ``horizontal_fusion`` applies the backend pass of Section 3.5 so that the
-    per-format kernels produced by composable formats are launched as a
-    single grid.
+    Args:
+        func: The program to lower (stage I, II or III).
+        horizontal_fusion: Apply the backend pass of Section 3.5 so that the
+            per-format kernels produced by composable formats are launched as
+            a single grid.
+        cache: Structural kernel caching: ``None`` (default) uses the
+            process-wide :func:`~repro.core.codegen.cache.global_kernel_cache`,
+            a :class:`~repro.core.codegen.cache.KernelCache` instance uses
+            that cache, and ``False`` disables caching.  On a cache hit the
+            lowering passes are skipped entirely and the value arrays of
+            *func* are attached to the cached loop nest as run-time defaults.
 
-    ``cache`` controls structural kernel caching: ``None`` (default) uses the
-    process-wide :func:`~repro.core.codegen.cache.global_kernel_cache`, a
-    :class:`~repro.core.codegen.cache.KernelCache` instance uses that cache,
-    and ``False`` disables caching.  On a cache hit the lowering passes are
-    skipped entirely and the value arrays of *func* are attached to the
-    cached loop nest as run-time defaults.
+    Returns:
+        A runnable :class:`Kernel` holding the stage-III program.
     """
     cache_obj = resolve_cache(cache)
     defaults = _collect_defaults(func)

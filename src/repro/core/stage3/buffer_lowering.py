@@ -117,14 +117,27 @@ class _Flattener:
         return expr
 
     def flatten_access(self, buffer, indices: Sequence[Expr]) -> Expr:
-        """Compute the flat offset of a position-space access (equations 6-8)."""
+        """Compute the flat offset of a position-space access (equations 6-8).
+
+        A variable axis compresses the rectangular space spanned by its parent
+        chain into ``nnz_total()`` slots, addressed through ``indptr``.  Axes
+        *before* the parent (e.g. the head axis of a batched attention buffer
+        ``S[H, I, J]``) form an independent batch prefix: one full segment of
+        ``nnz_total()`` slots per prefix position, so the offset becomes
+        ``prefix * nnz_total + indptr[parent] + position``.
+        """
         if isinstance(buffer, FlatBuffer):
             return self.flatten_expr(indices[0])
         if not isinstance(buffer, SparseBuffer):
             raise TypeError(f"cannot flatten access to {buffer!r}")
         offset: Optional[Expr] = None
+        # (axis, flattened index, running offset *before* this axis) for every
+        # axis already folded into `offset`; lets a later variable axis find
+        # its parent's own position and the batch prefix preceding it.
+        processed: list[tuple[Axis, Expr, Optional[Expr]]] = []
         for axis, raw_index in zip(buffer.axes, indices):
             index = self.flatten_expr(raw_index)
+            offset_before = offset
             if isinstance(axis, (DenseFixedAxis,)):
                 extent: Optional[int] = axis.length
                 offset = index if offset is None else Add(Mul(offset, IntImm(extent)), index)
@@ -139,10 +152,35 @@ class _Flattener:
                     # the parent's indptr); fall back to the dense-variable
                     # flattening through the shared indptr of the axis itself.
                     indptr_flat = self._materialize_indptr(axis)
-                parent_pos = offset if offset is not None else IntImm(0)
-                offset = Add(BufferLoad(indptr_flat, [parent_pos]), index)
+                parent_pos: Optional[Expr] = None
+                prefix: Optional[Expr] = None
+                for depth, (p_axis, p_index, p_before) in enumerate(processed):
+                    if p_axis is axis.parent:
+                        if depth != len(processed) - 1:
+                            # An axis sitting *between* the parent and its
+                            # variable child has no flattening rule (it would
+                            # need one indptr segment per interior position);
+                            # refuse rather than compute colliding offsets.
+                            raise ValueError(
+                                f"buffer {buffer.name!r}: axis "
+                                f"{processed[depth + 1][0].name!r} appears between "
+                                f"variable axis {axis.name!r} and its parent "
+                                f"{p_axis.name!r}; reorder the buffer axes so the "
+                                f"parent immediately precedes the variable axis"
+                            )
+                        parent_pos = p_index
+                        prefix = p_before
+                        break
+                if parent_pos is None:
+                    parent_pos = offset if offset is not None else IntImm(0)
+                segment = Add(BufferLoad(indptr_flat, [parent_pos]), index)
+                if prefix is None:
+                    offset = segment
+                else:
+                    offset = Add(Mul(prefix, IntImm(axis.nnz_total())), segment)
             else:  # pragma: no cover
                 raise TypeError(f"unsupported axis type {type(axis)}")
+            processed.append((axis, index, offset_before))
         if offset is None:
             raise ValueError(f"buffer {buffer.name!r} access with no indices")
         return simplify(offset)

@@ -37,6 +37,18 @@ class BSRMatrix:
     # -- constructors -----------------------------------------------------------------
     @classmethod
     def from_csr(cls, csr: CSRMatrix, block_size: int) -> "BSRMatrix":
+        """View a CSR matrix at block granularity.
+
+        The shape is padded up to the next multiple of ``block_size``; every
+        block containing at least one non-zero is stored densely.
+
+        Args:
+            csr: The source :class:`~repro.formats.csr.CSRMatrix`.
+            block_size: Square block edge length.
+
+        Returns:
+            The equivalent :class:`BSRMatrix`.
+        """
         rows = -(-csr.rows // block_size) * block_size
         cols = -(-csr.cols // block_size) * block_size
         matrix = csr.to_scipy()

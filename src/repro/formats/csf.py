@@ -28,6 +28,14 @@ class CSFTensor:
 
     @classmethod
     def from_dense(cls, dense: np.ndarray) -> "CSFTensor":
+        """Compress a dense 3-D array, one CSR slice per leading index.
+
+        Args:
+            dense: A 3-D array ``(R, rows, cols)``.
+
+        Returns:
+            The :class:`CSFTensor` storing each slice in CSR form.
+        """
         dense = np.asarray(dense)
         if dense.ndim != 3:
             raise ValueError("CSFTensor.from_dense expects a 3-D array")

@@ -44,12 +44,35 @@ class CSRMatrix:
     # -- constructors ---------------------------------------------------------------
     @classmethod
     def from_scipy(cls, matrix: sp.spmatrix, dtype: str = "float32") -> "CSRMatrix":
+        """Convert any SciPy sparse matrix (indices are sorted canonically).
+
+        Args:
+            matrix: Any ``scipy.sparse`` matrix.
+            dtype: Value dtype string of the result.
+
+        Returns:
+            An equivalent :class:`CSRMatrix`.
+        """
         csr = sp.csr_matrix(matrix)
         csr.sort_indices()
         return cls(csr.shape, csr.indptr, csr.indices, csr.data, dtype=dtype)
 
     @classmethod
     def from_dense(cls, dense: np.ndarray, dtype: str = "float32") -> "CSRMatrix":
+        """Compress a dense array, dropping zero entries.
+
+        Args:
+            dense: A 2-D array.
+            dtype: Value dtype string of the result.
+
+        Returns:
+            The :class:`CSRMatrix` holding the non-zero entries.
+
+        Example:
+            >>> import numpy as np
+            >>> CSRMatrix.from_dense(np.eye(3)).nnz
+            3
+        """
         return cls.from_scipy(sp.csr_matrix(np.asarray(dense)), dtype=dtype)
 
     @classmethod
@@ -61,7 +84,18 @@ class CSRMatrix:
         seed: int = 0,
         dtype: str = "float32",
     ) -> "CSRMatrix":
-        """A uniformly random sparse matrix with the given density."""
+        """A uniformly random sparse matrix with the given density.
+
+        Args:
+            rows: Number of rows.
+            cols: Number of columns.
+            density: Expected fraction of stored entries.
+            seed: RNG seed (deterministic for equal arguments).
+            dtype: Value dtype string.
+
+        Returns:
+            A random :class:`CSRMatrix` with standard-normal values.
+        """
         rng = np.random.default_rng(seed)
         matrix = sp.random(rows, cols, density=density, random_state=rng, format="csr",
                            data_rvs=lambda size: rng.standard_normal(size).astype(np.float32))

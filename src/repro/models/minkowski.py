@@ -45,8 +45,22 @@ class SparseConvLayer:
         )
         return cls(problem, weights)
 
-    def forward(self, features: np.ndarray, activation: bool = True) -> np.ndarray:
-        out = sparse_conv_reference(self.problem, features, self.weights)
+    def forward(self, features: np.ndarray, activation: bool = True, session=None) -> np.ndarray:
+        """One layer forward pass.
+
+        Args:
+            features: Input voxel features ``(num_in_points, in_channels)``.
+            activation: Apply ReLU to the layer output.
+            session: When given, convolve through the session's compiled
+                gather-GEMM-scatter kernel instead of the NumPy reference.
+
+        Returns:
+            Output voxel features ``(num_out_points, out_channels)``.
+        """
+        if session is not None:
+            out = session.sparse_conv(self.problem, features, self.weights)
+        else:
+            out = sparse_conv_reference(self.problem, features, self.weights)
         return relu(out) if activation else out
 
 
@@ -65,11 +79,12 @@ class MinkowskiBackbone:
             problem = sparse_conv_problem(cin, cout, self.config)
             self.layers.append(SparseConvLayer.create(problem, seed=seed + index))
 
-    def forward(self, features: np.ndarray) -> np.ndarray:
+    def forward(self, features: np.ndarray, session=None) -> np.ndarray:
+        """Backbone forward pass; ``session`` selects the compiled kernels."""
         out = features
         for index, layer in enumerate(self.layers):
             last = index == len(self.layers) - 1
-            out = layer.forward(out, activation=not last)
+            out = layer.forward(out, activation=not last, session=session)
         return out
 
 

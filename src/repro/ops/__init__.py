@@ -3,7 +3,8 @@
 Each operator module provides up to four layers:
 
 * ``*_reference`` — NumPy ground-truth implementations used for correctness;
-* executable entry points (``spmm``, ``sddmm``, ``pruned_spmm``) — compile
+* executable entry points (``spmm``, ``sddmm``, ``pruned_spmm``,
+  ``batched_spmm``, ``batched_sddmm``, ``rgms``, ``sparse_conv``) — compile
   the stage-I program and run it through a compile-once/run-many
   :class:`~repro.runtime.session.Session` (vectorized executor, structural
   kernel cache) returning plain arrays;

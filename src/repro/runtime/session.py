@@ -14,8 +14,23 @@ A :class:`Session` bundles everything between "here is a sparse matrix" and
   served each run.
 
 Operator-level helpers (:meth:`Session.spmm`, :meth:`Session.sddmm`,
-:meth:`Session.pruned_spmm`) wrap the stage-I program builders in
-:mod:`repro.ops` and return plain NumPy arrays.
+:meth:`Session.pruned_spmm`, :meth:`Session.batched_spmm`,
+:meth:`Session.batched_sddmm`, :meth:`Session.rgms`,
+:meth:`Session.sparse_conv`) wrap the stage-I program builders in
+:mod:`repro.ops` and return plain NumPy arrays — every workload family of the
+paper executes end-to-end through this one runtime.
+
+Example:
+
+    >>> import numpy as np
+    >>> from repro.formats.csr import CSRMatrix
+    >>> from repro.runtime.session import Session
+    >>> session = Session()
+    >>> csr = CSRMatrix.from_dense(np.eye(4, dtype=np.float32))
+    >>> session.spmm(csr, np.ones((4, 2), dtype=np.float32)).shape
+    (4, 2)
+    >>> session.stats.vectorized_runs
+    1
 """
 
 from __future__ import annotations
@@ -58,6 +73,15 @@ class SessionStats:
             "vectorized_runs": self.vectorized_runs,
             "interpreted_runs": self.interpreted_runs,
         }
+
+
+def _pad_axis(array: np.ndarray, axis: int, length: int) -> np.ndarray:
+    """Zero-pad one axis of *array* up to *length* (no-op when equal)."""
+    if array.shape[axis] == length:
+        return array
+    pad = [(0, 0)] * array.ndim
+    pad[axis] = (0, length - array.shape[axis])
+    return np.pad(array, pad)
 
 
 def _content_key(*parts: Any) -> str:
@@ -139,6 +163,20 @@ class Session:
         return result
 
     # -- format decomposition --------------------------------------------------
+    def _memoized_format(self, key: str, build_entry):
+        """LRU-memoise one derived-format entry, tracking hit/miss stats."""
+        hit = self._formats.get(key)
+        if hit is not None:
+            self._formats.move_to_end(key)
+            self.stats.format_cache_hits += 1
+            return hit
+        self.stats.format_cache_misses += 1
+        entry = build_entry()
+        self._formats[key] = entry
+        while len(self._formats) > self.format_cache_capacity:
+            self._formats.popitem(last=False)
+        return entry
+
     def decompose_hyb(self, csr, num_col_parts: int = 1, num_buckets: Optional[int] = None):
         """``HybFormat.from_csr`` memoised by sparsity content and parameters."""
         from ..formats.hyb import HybFormat
@@ -146,17 +184,25 @@ class Session:
         key = _content_key(
             "hyb", csr.shape, csr.indptr, csr.indices, csr.data, num_col_parts, num_buckets
         )
-        hit = self._formats.get(key)
-        if hit is not None:
-            self._formats.move_to_end(key)
-            self.stats.format_cache_hits += 1
-            return hit
-        self.stats.format_cache_misses += 1
-        hyb = HybFormat.from_csr(csr, num_col_parts=num_col_parts, num_buckets=num_buckets)
-        self._formats[key] = hyb
-        while len(self._formats) > self.format_cache_capacity:
-            self._formats.popitem(last=False)
-        return hyb
+        return self._memoized_format(
+            key,
+            lambda: HybFormat.from_csr(csr, num_col_parts=num_col_parts, num_buckets=num_buckets),
+        )
+
+    def decompose_bsr(self, csr, block_size: int):
+        """``BSRMatrix.from_csr`` memoised by sparsity content and block size.
+
+        Args:
+            csr: The source :class:`~repro.formats.csr.CSRMatrix`.
+            block_size: Square block edge length.
+
+        Returns:
+            The cached :class:`~repro.formats.bsr.BSRMatrix` view.
+        """
+        from ..formats.bsr import BSRMatrix
+
+        key = _content_key("bsr", csr.shape, csr.indptr, csr.indices, csr.data, block_size)
+        return self._memoized_format(key, lambda: BSRMatrix.from_csr(csr, block_size))
 
     # -- operators -------------------------------------------------------------
     def spmm(
@@ -169,9 +215,17 @@ class Session:
     ) -> np.ndarray:
         """``A @ X`` through the full compile/execute pipeline.
 
-        ``format="csr"`` runs the Figure-3 CSR program; ``format="hyb"``
-        decomposes into the composable ``hyb`` format first (cached) and runs
-        the per-bucket ELL programs.
+        Args:
+            csr: The sparse matrix (:class:`~repro.formats.csr.CSRMatrix`).
+            features: Dense operand of shape ``(cols, feat)``.
+            format: ``"csr"`` runs the Figure-3 CSR program; ``"hyb"``
+                decomposes into the composable ``hyb`` format first (cached)
+                and runs the per-bucket ELL programs.
+            num_col_parts: Column partitions of the ``hyb`` decomposition.
+            num_buckets: Bucket count of the ``hyb`` decomposition.
+
+        Returns:
+            The dense product, shape ``(rows, feat)``.
         """
         from ..ops.spmm import build_spmm_hyb_program, build_spmm_program
 
@@ -188,7 +242,17 @@ class Session:
         return out["C"].reshape(csr.rows, feat_size)
 
     def sddmm(self, csr, x: np.ndarray, y: np.ndarray, fuse_ij: bool = True) -> np.ndarray:
-        """Sampled dense-dense matmul; returns the new edge values in CSR order."""
+        """Sampled dense-dense matmul at the non-zeros of ``csr``.
+
+        Args:
+            csr: The sampling structure (values scale each edge score).
+            x: Dense operand of shape ``(rows, feat)``.
+            y: Dense operand of shape ``(feat, cols)``.
+            fuse_ij: Iterate the (row, edge) axes as one fused loop.
+
+        Returns:
+            The new edge values in CSR order, shape ``(nnz,)``.
+        """
         from ..ops.sddmm import build_sddmm_program
 
         x = np.asarray(x, dtype=np.float32)
@@ -198,13 +262,171 @@ class Session:
         return out["OUT"][: csr.nnz]
 
     def pruned_spmm(self, bsr, x: np.ndarray) -> np.ndarray:
-        """``W @ X`` with a BSR (block-pruned) weight matrix."""
+        """``W @ X`` with a BSR (block-pruned) weight matrix.
+
+        Args:
+            bsr: The pruned weights (:class:`~repro.formats.bsr.BSRMatrix`).
+            x: Dense activation of shape ``(in_features, seq_len)``.
+
+        Returns:
+            The product, shape ``(out_features, seq_len)``.
+        """
         from ..ops.pruned_spmm import build_pruned_spmm_bsr_program
 
         x = np.asarray(x, dtype=np.float32)
         func = build_pruned_spmm_bsr_program(bsr, x.shape[1], x)
         out = self.run(func)
         return out["Y"].reshape(bsr.shape[0], x.shape[1])
+
+    def batched_spmm(
+        self,
+        csr,
+        features: np.ndarray,
+        format: str = "csr",
+        block_size: int = 16,
+    ) -> np.ndarray:
+        """Multi-head SpMM ``O[h] = A @ X[h]`` with a shared sparse mask.
+
+        The head axis is a dense batch loop of the generated program, so the
+        vectorized executor flattens it into lanes alongside rows and
+        features.
+
+        Args:
+            csr: The shared mask (:class:`~repro.formats.csr.CSRMatrix`).
+            features: Per-head operands, shape ``(heads, cols, feat)``.
+            format: ``"csr"`` for the scalar program, ``"bsr"`` for the
+                block program over the cached BSR decomposition.
+            block_size: BSR block size (``format="bsr"`` only).
+
+        Returns:
+            The per-head products, shape ``(heads, rows, feat)``.
+        """
+        from ..ops.batched import build_batched_spmm_bsr_program, build_batched_spmm_program
+
+        features = np.asarray(features, dtype=np.float32)
+        if features.ndim != 3:
+            raise ValueError("features must be (heads, cols, feat)")
+        heads, cols, feat = features.shape
+        if cols != csr.cols:
+            raise ValueError(f"features have {cols} rows per head, expected {csr.cols}")
+        if format == "csr":
+            func = build_batched_spmm_program(csr, heads, feat, features)
+            out = self.run(func)
+            return out["C"].reshape(heads, csr.rows, feat)
+        if format == "bsr":
+            bsr = self.decompose_bsr(csr, block_size)
+            padded = _pad_axis(features, axis=1, length=bsr.shape[1])
+            func = build_batched_spmm_bsr_program(bsr, heads, feat, padded)
+            out = self.run(func)
+            return out["C"].reshape(heads, bsr.shape[0], feat)[:, : csr.rows]
+        raise ValueError(f"unknown batched-SpMM format {format!r}; use 'csr' or 'bsr'")
+
+    def batched_sddmm(
+        self,
+        csr,
+        q: np.ndarray,
+        k: np.ndarray,
+        format: str = "csr",
+        block_size: int = 16,
+        fuse_ij: bool = True,
+        scale: Optional[float] = None,
+    ) -> np.ndarray:
+        """Multi-head SDDMM ``S[h] = (Q[h] @ K[h]) * mask`` at the mask's nnz.
+
+        Args:
+            csr: The shared mask.
+            q: Per-head queries, shape ``(heads, rows, feat)``.
+            k: Per-head keys, shape ``(heads, feat, cols)``.
+            format: ``"csr"`` (fused edge loop) or ``"bsr"`` (per-block
+                matmuls over the cached BSR decomposition; requires a
+                block-aligned mask).
+            block_size: BSR block size (``format="bsr"`` only).
+            fuse_ij: Iterate the (row, edge) axes as one fused loop
+                (``format="csr"`` only).
+            scale: Optional score scaling (e.g. ``1/sqrt(d)``) applied by a
+                pointwise rescaling iteration inside the same kernel.
+
+        Returns:
+            Per-head edge scores in CSR order, shape ``(heads, nnz)``.
+        """
+        from ..ops.batched import (
+            bsr_element_permutation,
+            build_batched_sddmm_bsr_program,
+            build_batched_sddmm_program,
+        )
+
+        q = np.asarray(q, dtype=np.float32)
+        k = np.asarray(k, dtype=np.float32)
+        if q.ndim != 3 or k.ndim != 3:
+            raise ValueError("q and k must be 3-D (heads, ., .)")
+        heads, _, feat = q.shape
+        if format == "csr":
+            func = build_batched_sddmm_program(
+                csr, heads, feat, q, k, fuse_ij=fuse_ij, scale=scale
+            )
+            out = self.run(func)
+            return out["OUT"].reshape(heads, csr.nnz)
+        if format == "bsr":
+            bsr = self.decompose_bsr(csr, block_size)
+            # The CSR-order permutation is a pure function of the (cached)
+            # block structure; memoise it so run-many calls skip the
+            # BSR-to-CSR conversion.
+            perm_key = _content_key("bsr_perm", csr.shape, csr.indptr, csr.indices, block_size)
+            perm = self._memoized_format(
+                perm_key, lambda: bsr_element_permutation(csr, bsr)
+            )
+            q_pad = _pad_axis(q, axis=1, length=bsr.shape[0])
+            k_pad = _pad_axis(k, axis=2, length=bsr.shape[1])
+            func = build_batched_sddmm_bsr_program(bsr, heads, feat, q_pad, k_pad, scale=scale)
+            out = self.run(func)
+            blocks = out["OUT"].reshape(heads, -1)
+            return blocks[:, perm]
+        raise ValueError(f"unknown batched-SDDMM format {format!r}; use 'csr' or 'bsr'")
+
+    def rgms(self, adjacency, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """Relational gather-matmul-scatter over a CSF adjacency tensor.
+
+        One program per adjacency structure: the relation dimension unrolls
+        into per-relation sparse iterations that share the output buffer, so
+        repeated calls (RGCN layers, forward passes) reuse one cached build.
+
+        Args:
+            adjacency: :class:`~repro.formats.csf.CSFTensor` of shape
+                ``(R, n, n)``.
+            x: Node features, shape ``(n, d_in)``.
+            w: Per-relation weights, shape ``(R, d_in, d_out)``.
+
+        Returns:
+            Aggregated features, shape ``(n, d_out)``.
+        """
+        from ..ops.rgms import build_rgms_program
+
+        x = np.asarray(x, dtype=np.float32)
+        w = np.asarray(w, dtype=np.float32)
+        if x.ndim != 2 or w.ndim != 3:
+            raise ValueError("x must be (n, d_in) and w (R, d_in, d_out)")
+        func = build_rgms_program(adjacency, x.shape[1], w.shape[2], x, w)
+        out = self.run(func)
+        return out["Y"].reshape(adjacency.shape[1], w.shape[2])
+
+    def sparse_conv(self, problem, features: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Fused gather-GEMM-scatter sparse convolution over kernel maps.
+
+        Args:
+            problem: :class:`~repro.ops.sparse_conv.SparseConvProblem`
+                describing the layer's ELL(1) kernel-map relations.
+            features: Input voxel features, ``(num_in_points, in_channels)``.
+            weights: Kernel weights,
+                ``(kernel_volume, in_channels, out_channels)``.
+
+        Returns:
+            Output voxel features, ``(num_out_points, out_channels)``.
+        """
+        from ..ops.sparse_conv import build_sparse_conv_program
+
+        func = build_sparse_conv_program(problem, features, weights)
+        out = self.run(func)
+        return out["Y"].reshape(problem.num_out_points, problem.out_channels)
 
     def __repr__(self) -> str:
         return f"Session(engine={self.engine!r}, stats={self.stats.as_dict()})"

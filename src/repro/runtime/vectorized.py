@@ -9,10 +9,13 @@ evaluated once over all lanes, and stores become a single NumPy scatter
 (``ufunc.at`` for reductions, fancy assignment otherwise).
 
 This covers the loop nests the pipeline produces for SpMM, SDDMM and
-pruned SpMM over CSR / ELL / HYB / BSR — gather loads through ``indices``
-buffers, segment-style reduction into the output, fused-axis row recovery via
-``sparse_row_of_position``, and structural-zero masking for padded ELL slots
-and ``sparse_coord_to_pos`` misses.
+pruned SpMM over CSR / ELL / HYB / BSR, the batched (multi-head) attention
+programs whose leading head axis is just one more lane dimension, and the
+scatter-accumulate nests of RGMS and sparse convolution — gather loads
+through ``indices`` buffers, segment-style reduction into the output,
+fused-axis row recovery via ``sparse_row_of_position``, pointwise in-place
+rescaling (``B[e] = B[e] * r``), and structural-zero masking for padded ELL
+slots and ``sparse_coord_to_pos`` misses.
 
 Exact-equivalence guarantees relative to the interpreter:
 
@@ -158,9 +161,10 @@ class VectorizedExecutor:
             buf.name: buf for buf in list(func.buffers) + list(func.aux_buffers)
         }
         self.flat_by_name = {fb.name: fb for fb in func.flat_buffers}
-        # Per-store reduction residuals decided by the safety analysis:
-        # id(store) -> residual expression, or None for a plain store.
-        self._reduction_residual: Dict[int, Optional[Expr]] = {}
+        # Per-store update forms decided by the safety analysis:
+        # id(store) -> ("add" | "mul", residual expression), or None for a
+        # plain store.
+        self._reduction_residual: Dict[int, Optional[Tuple[str, Expr]]] = {}
         # Per-axis search structures for batched coordinate_to_position.
         self._axis_lookup_cache: Dict[int, Tuple[np.ndarray, np.ndarray, int]] = {}
         self._analyze()
@@ -170,9 +174,10 @@ class VectorizedExecutor:
         """Prove each top-level loop nest safe to batch.
 
         Within one nest, nothing may *read* a buffer the nest *writes*, with
-        a single exception: a self-accumulation ``B[e] = B[e] + r`` may read
-        its own target at exactly the stored index (that load becomes the
-        ``np.add.at`` accumulator).  Any other read of a written buffer — in
+        a single exception: a self-update ``B[e] = B[e] + r`` (or the
+        pointwise ``B[e] = B[e] * r``) may read its own target at exactly the
+        stored index (that load becomes the ``np.add.at`` / ``np.multiply.at``
+        accumulator).  Any other read of a written buffer — in
         a residual (even at another index of the same buffer), a plain store
         value, a store index, a loop bound, a condition or a let binding —
         could observe a different interleaving than the serial interpreter,
@@ -209,7 +214,7 @@ class VectorizedExecutor:
             value_reads = {
                 load.buffer.name
                 for load in collect_buffer_loads(
-                    BufferStore(store.buffer, store.indices, residual)
+                    BufferStore(store.buffer, store.indices, residual[1])
                     if residual is not None
                     else store
                 )
@@ -227,11 +232,19 @@ class VectorizedExecutor:
                 )
             self._reduction_residual[id(store)] = residual
 
-    def _match_reduction(self, store: BufferStore) -> Optional[Expr]:
-        """Match ``B[e] = B[e] + r`` and return ``r``, else None."""
+    def _match_reduction(self, store: BufferStore) -> Optional[Tuple[str, Expr]]:
+        """Match a self-update ``B[e] = B[e] (+|*) r``; return the op and ``r``.
+
+        ``+`` is the reduction accumulator (``np.add.at``); ``*`` is the
+        pointwise in-place rescale emitted e.g. by the attention-score
+        ``1/sqrt(d)`` scaling nest (``np.multiply.at``).  Both ``ufunc.at``
+        forms apply lanes unbuffered in serial order, preserving
+        bit-exactness with the interpreter.
+        """
         value = store.value
-        if not isinstance(value, Add):
+        if not isinstance(value, (Add, Mul)):
             return None
+        op = "add" if isinstance(value, Add) else "mul"
         for load, residual in ((value.a, value.b), (value.b, value.a)):
             if (
                 isinstance(load, BufferLoad)
@@ -239,7 +252,7 @@ class VectorizedExecutor:
                 and len(load.indices) == 1
                 and structural_equal(load.indices[0], store.indices[0])
             ):
-                return residual
+                return op, residual
         return None
 
     # -- public API ------------------------------------------------------------
@@ -390,7 +403,7 @@ class VectorizedExecutor:
         array = arrays[store.buffer.name]
         index = self._eval(store.indices[0], env, n, arrays)
         residual = self._reduction_residual.get(id(store))
-        value = self._eval(residual if residual is not None else store.value, env, n, arrays)
+        value = self._eval(residual[1] if residual is not None else store.value, env, n, arrays)
 
         idx = _as_lanes(index.data, n).astype(np.int64, copy=False)
         vals = _as_lanes(value.data, n)
@@ -405,7 +418,8 @@ class VectorizedExecutor:
             idx = idx[keep]
             vals = vals[keep] if np.ndim(vals) else vals
         if residual is not None:
-            np.add.at(array, idx, vals)
+            ufunc = np.add if residual[0] == "add" else np.multiply
+            ufunc.at(array, idx, vals)
         else:
             array[idx] = vals
 

@@ -98,6 +98,22 @@ class TestRGCN:
         logits = model.forward(rng.standard_normal((300, 6)).astype(np.float32))
         assert logits.shape == (300, 3)
 
+    def test_forward_through_session_matches_reference(self, hetero, rng):
+        from repro.runtime import Session
+
+        model = rgcn.RGCN(hetero, in_feats=6, hidden=8, num_classes=3)
+        x = rng.standard_normal((300, 6)).astype(np.float32)
+        session = Session()
+        compiled = model.forward(x, session=session)
+        reference = model.forward(x)
+        assert np.allclose(compiled, reference, atol=1e-3)
+        # Two layers -> two kernel builds, executed on the fast path.
+        assert session.stats.builds == 2
+        assert session.stats.vectorized_runs == 2
+        # A second forward pass reuses both lowered kernels.
+        model.forward(x, session=session)
+        assert session.stats.kernel_cache_hits == 2
+
     def test_speedup_table_covers_all_systems(self, hetero):
         table = rgcn.rgcn_speedup_table(hetero, 16, V100)
         assert set(table) == set(rgcn.RGCN_SYSTEMS)
@@ -140,6 +156,17 @@ class TestMinkowski:
         ).astype(np.float32)
         out = backbone.forward(features)
         assert out.shape[1] == 8
+
+    def test_forward_through_session_matches_reference(self, conv_problem, rng):
+        from repro.runtime import Session
+
+        layer = minkowski.SparseConvLayer.create(conv_problem, seed=0)
+        features = rng.standard_normal((conv_problem.num_in_points, 4)).astype(np.float32)
+        session = Session()
+        compiled = layer.forward(features, session=session)
+        reference = layer.forward(features)
+        assert np.allclose(compiled, reference, atol=1e-4)
+        assert session.stats.vectorized_runs == 1
 
     def test_layer_time_estimates(self, conv_problem):
         times = minkowski.estimate_layer_times(conv_problem, V100)

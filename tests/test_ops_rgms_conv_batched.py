@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.codegen.build import build
 from repro.formats import BSRMatrix
 from repro.ops import batched, rgms, sparse_conv
 from repro.perf.device import V100
@@ -138,3 +139,102 @@ class TestBatchedAttention:
         many = batched.batched_spmm_bsr_workload(bsr, 64, 8, V100)
         assert many.total_blocks() == 8 * one.total_blocks()
         assert many.total_flops() == pytest.approx(8 * one.total_flops())
+
+
+class TestExecutablePrograms:
+    """The stage-I programs compiled and run through the full pipeline."""
+
+    @pytest.fixture(scope="class")
+    def small_mask(self):
+        return band_mask(seq_len=48, band_size=12, block_size=6)
+
+    def test_batched_spmm_program_both_engines(self, small_mask, rng):
+        feats = rng.standard_normal((3, small_mask.cols, 4)).astype(np.float32)
+        func = batched.build_batched_spmm_program(small_mask, 3, 4, feats)
+        kernel = build(func, cache=False)
+        fast = kernel.run(engine="vectorized")["C"]
+        slow = kernel.run(engine="interpret")["C"]
+        assert np.array_equal(fast, slow)
+        ref = batched.batched_spmm_reference(small_mask, feats)
+        assert np.array_equal(fast.reshape(3, small_mask.rows, 4), ref)
+
+    def test_batched_spmm_bsr_program(self, small_mask, rng):
+        bsr = BSRMatrix.from_csr(small_mask, 6)
+        feats = rng.standard_normal((2, bsr.shape[1], 4)).astype(np.float32)
+        func = batched.build_batched_spmm_bsr_program(bsr, 2, 4, feats)
+        kernel = build(func, cache=False)
+        out = kernel.run(engine="vectorized")["C"].reshape(2, bsr.shape[0], 4)
+        ref = batched.batched_spmm_reference(small_mask, feats[:, : small_mask.cols])
+        assert np.array_equal(out[:, : small_mask.rows], ref)
+
+    @pytest.mark.parametrize("fuse_ij", [True, False])
+    def test_batched_sddmm_program(self, small_mask, rng, fuse_ij):
+        q = rng.standard_normal((2, small_mask.rows, 4)).astype(np.float32)
+        k = rng.standard_normal((2, 4, small_mask.cols)).astype(np.float32)
+        func = batched.build_batched_sddmm_program(small_mask, 2, 4, q, k, fuse_ij=fuse_ij)
+        kernel = build(func, cache=False)
+        fast = kernel.run(engine="vectorized")["OUT"].reshape(2, small_mask.nnz)
+        slow = kernel.run(engine="interpret")["OUT"].reshape(2, small_mask.nnz)
+        assert np.array_equal(fast, slow)
+        ref = batched.batched_sddmm_reference(small_mask, q, k)
+        assert np.allclose(fast, ref, atol=1e-5)
+
+    def test_bsr_element_permutation_roundtrip(self, small_mask):
+        bsr = BSRMatrix.from_csr(small_mask, 6)
+        perm = batched.bsr_element_permutation(small_mask, bsr)
+        # Permuting the BSR value layout must recover the CSR value order.
+        assert np.array_equal(bsr.data.reshape(-1)[perm], small_mask.data)
+
+    def test_bsr_element_permutation_requires_alignment(self):
+        from repro.formats import CSRMatrix
+
+        csr = CSRMatrix.random(rows=12, cols=12, density=0.2, seed=3)
+        with pytest.raises(ValueError):
+            batched.bsr_element_permutation(csr, BSRMatrix.from_csr(csr, 4))
+
+    def test_rgms_program_both_engines(self, small_relational, rng):
+        x = rng.standard_normal((64, 8)).astype(np.float32)
+        w = rng.standard_normal((5, 8, 6)).astype(np.float32)
+        func = rgms.build_rgms_program(small_relational, 8, 6, x, w)
+        kernel = build(func, cache=False)
+        fast = kernel.run(engine="vectorized")["Y"].reshape(64, 6)
+        slow = kernel.run(engine="interpret")["Y"].reshape(64, 6)
+        assert np.array_equal(fast, slow)
+        assert np.allclose(fast, rgms.rgms_reference(small_relational, x, w), atol=1e-4)
+
+    def test_rgms_program_validates_relation_count(self, small_relational, rng):
+        with pytest.raises(ValueError):
+            rgms.build_rgms_program(
+                small_relational, 8, 6, rng.standard_normal((64, 8)),
+                rng.standard_normal((2, 8, 6)),
+            )
+
+    def test_sparse_conv_program_both_engines(self, small_conv_problem, rng):
+        problem = small_conv_problem
+        feats = rng.standard_normal(
+            (problem.num_in_points, problem.in_channels)
+        ).astype(np.float32)
+        weights = rng.standard_normal(
+            (problem.kernel_volume, problem.in_channels, problem.out_channels)
+        ).astype(np.float32)
+        func = sparse_conv.build_sparse_conv_program(problem, feats, weights)
+        kernel = build(func, cache=False)
+        fast = kernel.run(engine="vectorized")["Y"]
+        slow = kernel.run(engine="interpret")["Y"]
+        assert np.array_equal(fast, slow)
+        ref = sparse_conv.sparse_conv_reference(problem, feats, weights)
+        assert np.allclose(
+            fast.reshape(problem.num_out_points, problem.out_channels), ref, atol=1e-4
+        )
+
+    def test_sparse_conv_program_validates_shapes(self, small_conv_problem, rng):
+        problem = small_conv_problem
+        with pytest.raises(ValueError):
+            sparse_conv.build_sparse_conv_program(
+                problem, rng.standard_normal((3, problem.in_channels)), None
+            )
+        with pytest.raises(ValueError):
+            sparse_conv.build_sparse_conv_program(
+                problem, None,
+                rng.standard_normal((1, problem.in_channels, problem.out_channels)),
+            )

@@ -87,3 +87,43 @@ def test_bsr_flattening_offsets():
     # indptr[1] = 1, +1 -> block 2; (2 * 2 + 1) * 2 + 0 = 10
     text = repr(offset)
     assert "JO_indptr" in text
+
+
+def test_batched_prefix_flattening_offsets():
+    """A dense batch axis before a CSR pair scales by the segment size:
+    S[h, i, j] -> h * nnz + J_indptr[i] + j (the batched attention layout)."""
+    from repro.core.axes import dense_fixed, sparse_variable
+    from repro.core.buffers import SparseBuffer
+    from repro.core.expr import IntImm
+    from repro.core.program import PrimFunc, STAGE_POSITION
+    from repro.core.stage3.buffer_lowering import _Flattener
+
+    h = dense_fixed("H", 3)
+    i = dense_fixed("I", 2)
+    j = sparse_variable("J", i, 4, 3, indptr=np.array([0, 1, 3]), indices=np.array([2, 0, 3]))
+    buf = SparseBuffer("S", [h, i, j])
+    assert buf.flat_size() == 3 * 3  # heads x nnz
+    func = PrimFunc("f", [h, i, j], [buf], body=None, stage=STAGE_POSITION)
+    flattener = _Flattener(func)
+    offset = flattener.flatten_access(buf, [IntImm(2), IntImm(1), IntImm(1)])
+    # h=2 heads of nnz=3 slots fold to the constant prefix 6.
+    assert repr(offset) == "(6 + (J_indptr[1] + 1))"
+
+
+def test_axis_between_parent_and_variable_child_is_rejected():
+    """S[I, K, J] with J.parent == I has no flattening rule; the lowering
+    must refuse instead of computing colliding offsets."""
+    from repro.core.axes import dense_fixed, sparse_variable
+    from repro.core.buffers import SparseBuffer
+    from repro.core.expr import IntImm
+    from repro.core.program import PrimFunc, STAGE_POSITION
+    from repro.core.stage3.buffer_lowering import _Flattener
+
+    i = dense_fixed("I", 2)
+    k = dense_fixed("K", 2)
+    j = sparse_variable("J", i, 4, 3, indptr=np.array([0, 1, 3]), indices=np.array([2, 0, 3]))
+    buf = SparseBuffer("S", [i, k, j])
+    func = PrimFunc("f", [i, k, j], [buf], body=None, stage=STAGE_POSITION)
+    flattener = _Flattener(func)
+    with pytest.raises(ValueError, match="between"):
+        flattener.flatten_access(buf, [IntImm(1), IntImm(1), IntImm(1)])

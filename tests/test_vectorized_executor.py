@@ -109,6 +109,75 @@ class TestPrunedSpMMEquivalence:
         )
 
 
+class TestBatchedEquivalence:
+    """Batched (multi-head) programs: the head axis is one more lane dim."""
+
+    @pytest.fixture
+    def mask(self):
+        from repro.workloads.attention import band_mask
+
+        return band_mask(seq_len=40, band_size=10, block_size=5)
+
+    @pytest.mark.parametrize("heads", [1, 4])
+    def test_batched_spmm(self, mask, rng, heads):
+        from repro.ops.batched import build_batched_spmm_program
+
+        feats = rng.standard_normal((heads, mask.cols, 3)).astype(np.float32)
+        interp, vec = _both_engines(build_batched_spmm_program(mask, heads, 3, feats))
+        _assert_identical(interp, vec)
+
+    def test_batched_sddmm_with_scaling(self, mask, rng):
+        """The post-scaling nest is a ``B[e] = B[e] * r`` self-update, batched
+        through ``np.multiply.at`` — still bit-exact with the interpreter."""
+        from repro.ops.batched import build_batched_sddmm_program
+
+        q = rng.standard_normal((2, mask.rows, 4)).astype(np.float32)
+        k = rng.standard_normal((2, 4, mask.cols)).astype(np.float32)
+        func = build_batched_sddmm_program(mask, 2, 4, q, k, scale=0.125)
+        interp, vec = _both_engines(func)
+        _assert_identical(interp, vec)
+        unscaled = build(
+            build_batched_sddmm_program(mask, 2, 4, q, k), cache=False
+        ).run(engine="vectorized")
+        assert np.array_equal(vec["OUT"], unscaled["OUT"] * np.float32(0.125))
+
+    def test_multiply_self_update_is_batched(self):
+        """A pointwise in-place rescale alone must run on the fast path."""
+        from repro.core.buffers import FlatBuffer
+        from repro.core.expr import Var
+        from repro.core.program import STAGE_LOOP, PrimFunc
+        from repro.core.stmt import BufferStore, ForLoop
+
+        b = FlatBuffer("b", 6)
+        i = Var("i")
+        body = ForLoop(i, 0, 6, BufferStore(b, [i], b[i] * 0.5))
+        func = PrimFunc("rescale", axes=[], buffers=[], body=body,
+                        stage=STAGE_LOOP, flat_buffers=[b])
+        kernel = build(func, cache=False)
+        out = kernel.run({"b": np.arange(6, dtype=np.float32)})
+        assert kernel.last_engine == "vectorized"
+        assert np.array_equal(out["b"], np.arange(6, dtype=np.float32) * 0.5)
+
+    def test_multiply_at_other_index_still_rejected(self):
+        """``B[i+1] = B[i+1] * B[i]`` is a scan, not a pointwise rescale."""
+        from repro.core.buffers import FlatBuffer
+        from repro.core.expr import Var
+        from repro.core.program import STAGE_LOOP, PrimFunc
+        from repro.core.stmt import BufferStore, ForLoop
+
+        b = FlatBuffer("b", 5)
+        i = Var("i")
+        body = ForLoop(i, 0, 4, BufferStore(b, [i + 1], b[i + 1] * b[i]))
+        func = PrimFunc("prod_scan", axes=[], buffers=[], body=body,
+                        stage=STAGE_LOOP, flat_buffers=[b])
+        with pytest.raises(UnsupportedProgram):
+            VectorizedExecutor(func)
+        kernel = build(func, cache=False)
+        out = kernel.run({"b": np.full(5, 2.0, dtype=np.float32)})
+        assert kernel.last_engine == "interpret"
+        assert np.array_equal(out["b"], [2.0, 4.0, 8.0, 16.0, 32.0])
+
+
 class TestEngineSemantics:
     def test_stale_output_and_empty_rows(self, matrices, rng):
         """Reduction init only touches rows with a non-empty domain — both engines."""
