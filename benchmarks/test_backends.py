@@ -1,0 +1,180 @@
+"""Backend-tier wall-clock harness: interpreter vs vectorized vs emitted.
+
+Unlike the other benchmark modules (which drive the GPU *performance model*),
+this harness measures real execution time of the three NumPy dispatch tiers
+on the executable fig-13 (graph SpMM), fig-14 (graph SDDMM) and fig-16
+(sparse-attention) workloads, and writes ``BENCH_backends.json`` at the
+repository root — the perf trajectory the CI ``bench-smoke`` job uploads as
+an artifact.
+
+Two entry points share one implementation: ``test_backend_smoke`` runs tiny
+shapes (seconds; the CI smoke lane), ``test_backend_full`` runs the
+paper-scale shapes and is additionally marked ``slow``.  Kernels are built
+once per structure through a :class:`Session` (compile-once), then each tier
+is timed on the cached kernel; the interpreter is skipped (reported as
+``null``) above a lane budget where a single scalar-interpreted run would
+dominate the whole harness.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.ops.batched import build_batched_sddmm_program, build_batched_spmm_program
+from repro.ops.sddmm import build_sddmm_program
+from repro.ops.spmm import build_spmm_hyb_program, build_spmm_program
+from repro.runtime.session import Session
+from repro.workloads.attention import band_mask
+from repro.workloads.graphs import generate_adjacency
+
+_ROOT = Path(__file__).resolve().parent.parent
+#: The committed perf-trajectory file; only the full-mode run writes it.
+OUTPUT = _ROOT / "BENCH_backends.json"
+#: Smoke runs write a sibling (gitignored) file so a local smoke run never
+#: clobbers the committed full-mode numbers; CI renames it before upload.
+SMOKE_OUTPUT = _ROOT / "BENCH_backends.smoke.json"
+
+#: Above this many lanes (iteration-space points) a scalar-interpreted run is
+#: minutes long; the harness reports ``null`` for the interpreter instead.
+INTERPRETER_LANE_BUDGET = 600_000
+
+SMOKE_SHAPES = {
+    "fig13-spmm": [(200, 1_600, 16)],
+    "fig14-sddmm": [(200, 1_600, 16)],
+    "fig16-attention": [(128, 16, 2, 8)],  # seq, band, heads, feat
+}
+
+FULL_SHAPES = {
+    # The first fig-13 shape stays under INTERPRETER_LANE_BUDGET so the
+    # committed JSON carries a measured interpreter column too.
+    "fig13-spmm": [(1_000, 15_000, 16), (2_000, 30_000, 32), (5_000, 60_000, 32)],
+    "fig14-sddmm": [(2_000, 30_000, 32)],
+    "fig16-attention": [(512, 64, 4, 32)],
+}
+
+
+def _best_seconds(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_tiers(kernel, lanes, repeats=3):
+    """Best-of-N seconds per tier on an already-built kernel."""
+    timings = {}
+    kernel.run(engine="emitted")  # warm-up compiles the plan once
+    timings["emitted_s"] = _best_seconds(lambda: kernel.run(engine="emitted"), repeats)
+    kernel.run(engine="vectorized")
+    timings["vectorized_s"] = _best_seconds(lambda: kernel.run(engine="vectorized"), repeats)
+    if lanes <= INTERPRETER_LANE_BUDGET:
+        timings["interpreter_s"] = _best_seconds(lambda: kernel.run(engine="interpret"), 1)
+    else:
+        timings["interpreter_s"] = None
+    return timings
+
+
+def _record(results, figure, workload, kernel, lanes, repeats=3):
+    timings = _time_tiers(kernel, lanes, repeats)
+    entry = {
+        "figure": figure,
+        "workload": workload,
+        "lanes": int(lanes),
+        **timings,
+        "speedup_emitted_vs_vectorized": timings["vectorized_s"] / timings["emitted_s"],
+        "speedup_emitted_vs_interpreter": (
+            timings["interpreter_s"] / timings["emitted_s"]
+            if timings["interpreter_s"]
+            else None
+        ),
+    }
+    results.append(entry)
+    print(
+        f"{figure:18s} {workload:38s} emitted {timings['emitted_s'] * 1e3:8.2f} ms   "
+        f"x{entry['speedup_emitted_vs_vectorized']:.2f} vs vectorized"
+    )
+
+
+def _run_suite(mode, shapes, output):
+    session = Session(persistent=False)
+    results = []
+    rng = np.random.default_rng(0)
+
+    for nodes, edges, feat in shapes["fig13-spmm"]:
+        graph = generate_adjacency(nodes, edges, "powerlaw", seed=1)
+        feats = rng.standard_normal((graph.cols, feat)).astype(np.float32)
+        kernel = session.build(build_spmm_program(graph, feat, feats))
+        _record(results, "fig13-spmm", f"powerlaw-n{nodes}-e{edges}-f{feat}-csr",
+                kernel, graph.nnz * feat)
+        hyb = session.decompose_hyb(graph, num_col_parts=1)
+        kernel = session.build(build_spmm_hyb_program(hyb, feat, feats))
+        _record(results, "fig13-spmm", f"powerlaw-n{nodes}-e{edges}-f{feat}-hyb",
+                kernel, sum(b.stored for b in hyb.buckets) * feat)
+
+    for nodes, edges, feat in shapes["fig14-sddmm"]:
+        graph = generate_adjacency(nodes, edges, "powerlaw", seed=2)
+        x = rng.standard_normal((graph.rows, feat)).astype(np.float32)
+        y = rng.standard_normal((feat, graph.cols)).astype(np.float32)
+        kernel = session.build(build_sddmm_program(graph, feat, x, y, fuse_ij=True))
+        _record(results, "fig14-sddmm", f"powerlaw-n{nodes}-e{edges}-f{feat}",
+                kernel, graph.nnz * feat)
+
+    for seq, band, heads, feat in shapes["fig16-attention"]:
+        mask = band_mask(seq, band)
+        q = rng.standard_normal((heads, seq, feat)).astype(np.float32)
+        k = rng.standard_normal((heads, feat, seq)).astype(np.float32)
+        kernel = session.build(
+            build_batched_sddmm_program(mask, heads, feat, q, k, scale=1.0 / np.sqrt(feat))
+        )
+        _record(results, "fig16-attention", f"band-s{seq}-b{band}-h{heads}-f{feat}-sddmm",
+                kernel, heads * mask.nnz * feat)
+        v = rng.standard_normal((heads, seq, feat)).astype(np.float32)
+        kernel = session.build(build_batched_spmm_program(mask, heads, feat, v))
+        _record(results, "fig16-attention", f"band-s{seq}-b{band}-h{heads}-f{feat}-spmm",
+                kernel, heads * mask.nnz * feat)
+
+    speedups = [r["speedup_emitted_vs_vectorized"] for r in results]
+    fig13 = [r["speedup_emitted_vs_vectorized"] for r in results if r["figure"] == "fig13-spmm"]
+    payload = {
+        "schema": 1,
+        "harness": "benchmarks/test_backends.py",
+        "mode": mode,
+        "numpy": np.__version__,
+        "tiers": ["emitted", "vectorized", "interpreter"],
+        "results": results,
+        "summary": {
+            "geomean_emitted_vs_vectorized": float(np.exp(np.mean(np.log(speedups)))),
+            "geomean_emitted_vs_vectorized_fig13": float(np.exp(np.mean(np.log(fig13)))),
+            "min_emitted_vs_vectorized_fig13": float(min(fig13)),
+        },
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {output} (geomean emitted vs vectorized: "
+          f"x{payload['summary']['geomean_emitted_vs_vectorized']:.2f})")
+    return payload
+
+
+@pytest.mark.figure("backends")
+def test_backend_smoke():
+    """Tiny-shape run for the CI ``bench-smoke`` job (artifact upload)."""
+    payload = _run_suite("smoke", SMOKE_SHAPES, SMOKE_OUTPUT)
+    assert SMOKE_OUTPUT.exists()
+    for row in payload["results"]:
+        assert row["emitted_s"] > 0 and row["vectorized_s"] > 0
+        assert row["interpreter_s"] is None or row["interpreter_s"] > 0
+
+
+@pytest.mark.slow
+@pytest.mark.bench  # also auto-applied by benchmarks/conftest.py; explicit here
+@pytest.mark.figure("backends")
+def test_backend_full():
+    """Paper-scale shapes; the committed ``BENCH_backends.json`` comes from
+    this run.  Emitted must clearly beat the per-call-planning vectorized
+    tier on the fig-13 SpMM shapes (the compile-once/run-many claim)."""
+    payload = _run_suite("full", FULL_SHAPES, OUTPUT)
+    assert payload["summary"]["geomean_emitted_vs_vectorized_fig13"] >= 1.5

@@ -1,7 +1,16 @@
-"""Target-specific code generation (Section 3.5)."""
+"""Target-specific code generation (Section 3.5) and the stage-IV backend."""
 
 from .build import Kernel, build
 from .cuda_like import emit_cuda_source
+from .emit_numpy import UnsupportedForEmission, emit_numpy_source
 from .fusion import horizontal_fuse, launch_groups
 
-__all__ = ["Kernel", "build", "emit_cuda_source", "horizontal_fuse", "launch_groups"]
+__all__ = [
+    "Kernel",
+    "build",
+    "emit_cuda_source",
+    "emit_numpy_source",
+    "UnsupportedForEmission",
+    "horizontal_fuse",
+    "launch_groups",
+]

@@ -9,9 +9,12 @@ import numpy as np
 from ..program import STAGE_COORDINATE, STAGE_LOOP, STAGE_POSITION, PrimFunc
 from ..stage2.lowering import lower_sparse_iterations
 from ..stage3.buffer_lowering import lower_sparse_buffers
-from .cache import KernelCache, resolve_cache, structural_fingerprint
+from .cache import CacheEntry, KernelCache, resolve_cache, structural_fingerprint
 from .cuda_like import emit_cuda_source
 from .fusion import launch_count
+
+#: Execution tiers of :meth:`Kernel.run`, fastest first.
+ENGINES = ("emitted", "vectorized", "interpret")
 
 
 class Kernel:
@@ -19,10 +22,13 @@ class Kernel:
 
     A kernel bundles the fully lowered (stage-III) program with
 
-    * a NumPy runtime (:meth:`run`): the vectorized whole-array fast path
-      with automatic fallback to the element-by-element interpreter,
-    * the pseudo-CUDA listing (:meth:`cuda_source`) produced by code
-      generation, and
+    * a NumPy runtime (:meth:`run`) with three dispatch tiers: the emitted
+      stage-IV kernel (source generated once per structure, plan executed
+      once per process), the vectorized whole-array fast path, and the
+      element-by-element interpreter — tried in that order under ``"auto"``,
+      with automatic fallback whenever a tier rejects the program,
+    * the emitted NumPy listing (:meth:`emitted_source`) and the pseudo-CUDA
+      listing (:meth:`cuda_source`) produced by code generation, and
     * a hook for the GPU performance model (:meth:`profile`) which estimates
       execution time and memory behaviour on a simulated device.
 
@@ -38,6 +44,7 @@ class Kernel:
         func: PrimFunc,
         stage2: Optional[PrimFunc] = None,
         defaults: Optional[Mapping[str, np.ndarray]] = None,
+        entry: Optional[CacheEntry] = None,
     ):
         if func.stage != STAGE_LOOP:
             raise ValueError("Kernel requires a stage-III program; use build()")
@@ -47,6 +54,11 @@ class Kernel:
         self.last_engine: Optional[str] = None
         self._source: Optional[str] = None
         self._vectorized: Any = None  # lazily built; False marks "unsupported"
+        # The cache entry shares the emitted source and its compiled runner
+        # across every kernel built from the same structure; an uncached
+        # kernel gets a private entry on first use.
+        self._entry = entry
+        self._aux_names = frozenset(buf.name for buf in func.aux_buffers)
 
     # -- execution ------------------------------------------------------------
     def run(
@@ -56,12 +68,12 @@ class Kernel:
     ) -> Dict[str, np.ndarray]:
         """Execute the kernel and return every buffer's flat array.
 
-        ``engine`` selects the backend: ``"auto"`` (default) uses the
-        vectorized fast path when the program is in its supported fragment
-        and silently falls back to the interpreter otherwise;
-        ``"vectorized"`` requires the fast path (raising
-        :class:`~repro.runtime.vectorized.UnsupportedProgram` if it does not
-        apply); ``"interpret"`` forces the scalar interpreter.
+        ``engine`` selects the backend: ``"auto"`` (default) tries the
+        emitted stage-IV kernel, then the vectorized fast path, then the
+        interpreter, silently falling back whenever a tier does not support
+        the program; ``"emitted"`` / ``"vectorized"`` require that tier
+        (raising if it does not apply); ``"interpret"`` forces the scalar
+        interpreter.  ``last_engine`` records the tier that served the run.
         """
         from ...runtime.executor import Executor
         from ...runtime.vectorized import UnsupportedProgram, VectorizedExecutor
@@ -70,8 +82,23 @@ class Kernel:
         if bindings:
             merged.update(bindings)
 
-        if engine not in ("auto", "vectorized", "interpret"):
+        if engine not in ("auto",) + ENGINES:
             raise ValueError(f"unknown engine {engine!r}")
+        if engine in ("auto", "emitted"):
+            # The emitted plan bakes the auxiliary (structural) arrays in, so
+            # a binding that overrides one would be silently ignored; such
+            # runs drop to the vectorized tier which reads them per call.
+            aux_override = bindings and any(name in self._aux_names for name in bindings)
+            runner = None if aux_override else self._emitted_runner()
+            if runner is not None:
+                result = runner(self._prepare(merged))
+                self.last_engine = "emitted"
+                return result
+            if engine == "emitted":
+                raise UnsupportedProgram(
+                    f"program {self.func.name!r} has no emitted kernel"
+                    + (" (auxiliary buffers rebound)" if aux_override else "")
+                )
         if engine == "vectorized":
             # Strict: any rejection (at analysis or at run time) propagates.
             executor = (
@@ -95,7 +122,52 @@ class Kernel:
         self.last_engine = "interpret"
         return Executor(self.func).run(merged)
 
+    def _prepare(self, merged: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        from ...runtime.executor import prepare_arrays
+
+        return prepare_arrays(self.func, merged)
+
+    def _emitted_runner(self) -> Any:
+        """The compiled stage-IV runner, or ``None`` when unavailable.
+
+        Compilation happens at most once per cache entry (shared across every
+        kernel with the same structure) and is serialised by the entry lock;
+        a failed compile or plan (e.g. lane overflow) marks the entry so the
+        fallback decision is also made once.
+        """
+        entry = self._entry
+        if entry is None:
+            entry = self._entry = CacheEntry(lowered=self.func, source=self._emit_source())
+        if entry.source is None or entry.runner is False:
+            return None
+        if entry.runner is not None:
+            return entry.runner
+        with entry.lock:
+            if entry.runner is None:
+                from .emit_numpy import compile_emitted
+
+                try:
+                    entry.runner = compile_emitted(entry.source, self.func)
+                except Exception:
+                    entry.runner = False
+        return entry.runner or None
+
+    def _emit_source(self) -> Optional[str]:
+        from .emit_numpy import UnsupportedForEmission, emit_numpy_source
+
+        try:
+            return emit_numpy_source(self.func)
+        except UnsupportedForEmission:
+            return None
+
     # -- code generation ---------------------------------------------------------
+    def emitted_source(self) -> Optional[str]:
+        """The stage-IV NumPy module emitted for this kernel (``None`` when
+        the program falls outside the emitter's fragment)."""
+        if self._entry is None:
+            self._entry = CacheEntry(lowered=self.func, source=self._emit_source())
+        return self._entry.source
+
     def cuda_source(self) -> str:
         """The CUDA-like listing emitted for this kernel."""
         if self._source is None:
@@ -168,9 +240,11 @@ def build(
         cache: Structural kernel caching: ``None`` (default) uses the
             process-wide :func:`~repro.core.codegen.cache.global_kernel_cache`,
             a :class:`~repro.core.codegen.cache.KernelCache` instance uses
-            that cache, and ``False`` disables caching.  On a cache hit the
-            lowering passes are skipped entirely and the value arrays of
-            *func* are attached to the cached loop nest as run-time defaults.
+            that cache, and ``False`` disables caching.  On a cache hit —
+            from memory, or from the persistent on-disk layer in a fresh
+            process — lowering *and* stage-IV source emission are skipped
+            entirely and the value arrays of *func* are attached to the
+            cached loop nest as run-time defaults.
 
     Returns:
         A runnable :class:`Kernel` holding the stage-III program.
@@ -182,8 +256,9 @@ def build(
         key = structural_fingerprint(func, {"horizontal_fusion": horizontal_fusion})
         entry = cache_obj.get(key)
         if entry is not None:
-            lowered, stage2 = entry
-            return Kernel(lowered, stage2=stage2, defaults=defaults)
+            return Kernel(
+                entry.lowered, stage2=entry.stage2, defaults=defaults, entry=entry
+            )
 
     stage2: Optional[PrimFunc] = None
     if func.stage == STAGE_COORDINATE:
@@ -200,8 +275,18 @@ def build(
     # Aux buffers (indptr/indices) are materialised during lowering; include
     # their data so cache hits on later identical builds can rebind them.
     defaults.update(_collect_defaults(func))
-    if cache_obj is not None and key is not None:
-        func = _structural_copy(func)
-        stage2 = None if stage2 is None else _structural_copy(stage2)
-        cache_obj.put(key, func, stage2)
-    return Kernel(func, stage2=stage2, defaults=defaults)
+    if cache_obj is None or key is None:
+        return Kernel(func, stage2=stage2, defaults=defaults)
+
+    from .emit_numpy import UnsupportedForEmission, emit_numpy_source
+
+    func = _structural_copy(func)
+    stage2 = None if stage2 is None else _structural_copy(stage2)
+    cache_obj.stats.lowerings += 1
+    try:
+        source: Optional[str] = emit_numpy_source(func)
+        cache_obj.stats.emissions += 1
+    except UnsupportedForEmission:
+        source = None
+    entry = cache_obj.put(key, func, stage2=stage2, source=source)
+    return Kernel(func, stage2=stage2, defaults=defaults, entry=entry)

@@ -1,4 +1,4 @@
-"""Structural kernel caching: compile once, run many.
+"""Structural kernel caching: compile once, run many — in memory and on disk.
 
 Lowering a stage-I program through sparse iteration lowering, sparse buffer
 lowering and horizontal fusion is pure Python tree rewriting and dominates
@@ -8,13 +8,23 @@ the same kernel every layer/epoch, benchmarks sweep feature sizes over one
 graph.  This module provides
 
 * :func:`structural_fingerprint` — a stable content hash of a program's
-  structure: the printed program text (axes, buffers, iteration bodies), the
-  per-axis structural data (``indptr`` / ``indices`` contents, lengths, nnz)
-  and the build configuration.  Buffer *values* are deliberately excluded:
-  two programs with the same structure but different data lower to the same
-  loop nest, and the value arrays are rebound at execution time.
-* :class:`KernelCache` — an LRU map from fingerprint to lowered program,
-  with hit/miss statistics.
+  structure: the printed program text (axes, buffers, iteration bodies, value
+  dtypes), the per-axis structural data (``indptr`` / ``indices`` contents,
+  lengths, nnz), the flattened-buffer layout and the build/executor
+  configuration.  Buffer *values* are deliberately excluded: two programs
+  with the same structure but different data lower to the same loop nest, and
+  the value arrays are rebound at execution time.  Value *dtypes* do
+  participate — a float32 entry can never serve a float64 caller.
+* :class:`CacheEntry` — one cached compilation product: the lowered stage-III
+  program, its stage-II form, the emitted NumPy source (stage IV) and the
+  lazily compiled runner.
+* :class:`KernelCache` — a thread-safe LRU map from fingerprint to
+  :class:`CacheEntry`, with hit/miss statistics and an optional persistent
+  :class:`DiskKernelCache` layer underneath, so a fresh process warm-starts
+  without re-lowering or re-emitting anything.
+* :class:`DiskKernelCache` — the fingerprint-keyed on-disk store under
+  ``$REPRO_KERNEL_CACHE`` (or ``~/.cache/repro-kernels``): versioned,
+  corruption-tolerant, written atomically (temp file + rename).
 
 The process-wide default cache used by ``build()`` lives here; a
 :class:`~repro.runtime.session.Session` can hold its own isolated cache.
@@ -23,13 +33,33 @@ The process-wide default cache used by ``build()`` lives here; a
 from __future__ import annotations
 
 import hashlib
+import json
+import os
+import pickle
+import tempfile
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Any, Mapping, Optional, Tuple
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from ..nputils import MAX_LANES
 from ..program import PrimFunc
+
+#: Bumped whenever the fingerprint recipe itself changes, so stale on-disk
+#: entries from an older scheme can never be confused for current ones.
+FINGERPRINT_VERSION = 2
+
+#: Bumped whenever the persisted payload layout changes (directory ``v<N>``).
+DISK_SCHEMA_VERSION = 1
+
+#: Environment variable naming the on-disk cache root.  Unset disables the
+#: persistent layer; the values ``0`` / ``off`` / ``false`` disable it too.
+CACHE_ENV_VAR = "REPRO_KERNEL_CACHE"
+
+_DISABLED_ENV_VALUES = {"", "0", "off", "false", "disabled", "none"}
 
 
 def _hash_array(digest: "hashlib._Hash", array: Optional[np.ndarray]) -> None:
@@ -46,11 +76,16 @@ def structural_fingerprint(func: PrimFunc, config: Optional[Mapping[str, Any]] =
     """A stable hash of the program structure and build configuration.
 
     Two calls return the same fingerprint exactly when the programs lower to
-    the same stage-III loop nest: the printed program (iteration structure,
-    buffer shapes/dtypes) and every axis's structural arrays must match.
-    Value data bound to buffers does not participate.
+    the same stage-III loop nest *and* execute identically: the printed
+    program (iteration structure, buffer shapes and value dtypes), every
+    axis's structural arrays, the flat-buffer layout and the
+    executor-relevant configuration (lane budget, emitter version) must all
+    match.  Value data bound to buffers does not participate.
     """
+    from .emit_numpy import EMITTER_VERSION
+
     digest = hashlib.sha256()
+    digest.update(f"|fingerprint:v{FINGERPRINT_VERSION}".encode())
     digest.update(func.script().encode())
     for axis in func.axes:
         digest.update(f"|axis:{type(axis).__name__}:{axis.name}:{axis.length}".encode())
@@ -59,6 +94,11 @@ def structural_fingerprint(func: PrimFunc, config: Optional[Mapping[str, Any]] =
         _hash_array(digest, getattr(axis, "indices", None))
     for buf in list(func.buffers) + list(func.aux_buffers):
         digest.update(f"|buf:{buf.name}:{buf.dtype}:{buf.scope}".encode())
+    for flat in func.flat_buffers:
+        digest.update(f"|flat:{flat.name}:{flat.size}:{flat.dtype}:{flat.scope}".encode())
+    # Executor-relevant configuration: anything that changes what the cached
+    # compilation products (loop nest, emitted source) would look like.
+    digest.update(f"|exec:max_lanes={MAX_LANES}:emitter=v{EMITTER_VERSION}".encode())
     if config:
         digest.update(repr(sorted(config.items())).encode())
     return digest.hexdigest()
@@ -66,11 +106,23 @@ def structural_fingerprint(func: PrimFunc, config: Optional[Mapping[str, Any]] =
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one :class:`KernelCache`."""
+    """Hit/miss counters of one :class:`KernelCache`.
+
+    ``hits`` counts every lookup satisfied without lowering (from memory or
+    from disk); ``disk_hits`` counts the subset that was loaded from the
+    persistent layer.  ``lowerings`` / ``emissions`` count the expensive
+    compilation passes actually executed, so a warm-started process can
+    assert both are zero.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+    disk_errors: int = 0
+    lowerings: int = 0
+    emissions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -83,50 +135,314 @@ class CacheStats:
     def __repr__(self) -> str:
         return (
             f"CacheStats(hits={self.hits}, misses={self.misses}, "
-            f"evictions={self.evictions}, hit_rate={self.hit_rate:.0%})"
+            f"evictions={self.evictions}, disk_hits={self.disk_hits}, "
+            f"hit_rate={self.hit_rate:.0%})"
         )
 
 
-class KernelCache:
-    """An LRU cache from structural fingerprint to lowered programs.
+@dataclass
+class CacheEntry:
+    """One cached compilation product, shared by every build that hits it.
 
-    Entries hold the lowered stage-III program (and its stage-II form, kept
-    for scheduling introspection); value data is rebound per build, so one
-    entry serves every workload that shares the structure.
+    ``lowered`` and ``stage2`` are purely structural (value data detached);
+    ``source`` is the emitted stage-IV NumPy module text, or ``None`` when
+    the program falls outside the emitter's fragment.  ``runner`` caches the
+    compiled ``run(arrays)`` closure: ``None`` until first use, ``False``
+    after a failed compile/plan (so the fallback is decided once), and the
+    callable afterwards.  ``lock`` serialises that lazy compilation.
     """
 
-    def __init__(self, capacity: int = 256):
+    lowered: PrimFunc
+    stage2: Optional[PrimFunc] = None
+    source: Optional[str] = None
+    runner: Any = None
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+
+class DiskKernelCache:
+    """Fingerprint-keyed persistent store for lowered programs + emitted source.
+
+    Layout (all files live under ``<root>/v<DISK_SCHEMA_VERSION>/``):
+
+    * ``<fingerprint>.pkl`` — the authoritative payload: a pickled dict with
+      the schema/emitter versions, program name, structural stage-III
+      program and emitted source;
+    * ``<fingerprint>.py`` — the emitted source as a readable Python file
+      (informational; never loaded back);
+    * ``<fingerprint>.json`` — human-readable metadata (informational).
+
+    Writes go through a temporary file in the same directory followed by an
+    atomic :func:`os.replace`, so concurrent writers can never leave a
+    half-written payload behind.  Reads treat *any* failure (truncated
+    pickle, version mismatch, unpicklable content) as a miss, recording it in
+    ``stats.errors`` and removing the offending entry best-effort.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        if root is None:
+            env = os.environ.get(CACHE_ENV_VAR)
+            if env is None or env.strip().lower() in _DISABLED_ENV_VALUES:
+                # Disable tokens name no directory; fall back to the default
+                # location (an explicit Session(persistent=True) asked for it).
+                root = "~/.cache/repro-kernels"
+            else:
+                root = env
+        self.root = Path(root).expanduser()
+        self.dir = self.root / f"v{DISK_SCHEMA_VERSION}"
+        self.stats = _DiskStats()
+
+    @classmethod
+    def from_env(cls) -> Optional["DiskKernelCache"]:
+        """The cache named by ``$REPRO_KERNEL_CACHE``, or ``None`` if disabled."""
+        value = os.environ.get(CACHE_ENV_VAR)
+        if value is None or value.strip().lower() in _DISABLED_ENV_VALUES:
+            return None
+        return cls(value)
+
+    # -- paths -----------------------------------------------------------------
+    def _paths(self, key: str) -> Tuple[Path, Path, Path]:
+        base = self.dir / key
+        return base.with_suffix(".pkl"), base.with_suffix(".py"), base.with_suffix(".json")
+
+    def __contains__(self, key: str) -> bool:
+        return self._paths(key)[0].exists()
+
+    def __len__(self) -> int:
+        if not self.dir.is_dir():
+            return 0
+        return sum(1 for _ in self.dir.glob("*.pkl"))
+
+    # -- read ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[CacheEntry]:
+        """Load one entry, or ``None`` on miss / corruption / version skew."""
+        from .emit_numpy import EMITTER_VERSION
+
+        pkl_path = self._paths(key)[0]
+        try:
+            blob = pkl_path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            payload = pickle.loads(blob)
+            if not isinstance(payload, dict):
+                raise TypeError("payload is not a dict")
+            if payload["schema"] != DISK_SCHEMA_VERSION:
+                raise ValueError(f"schema {payload['schema']} != {DISK_SCHEMA_VERSION}")
+            if payload["fingerprint"] != key:
+                raise ValueError("fingerprint mismatch (renamed or corrupted entry)")
+            lowered = payload["program"]
+            if not isinstance(lowered, PrimFunc):
+                raise TypeError("program payload is not a PrimFunc")
+            stage2 = payload["stage2"]
+            if stage2 is not None and not isinstance(stage2, PrimFunc):
+                raise TypeError("stage2 payload is not a PrimFunc")
+            source = payload["source"]
+            # Source emitted by a different emitter version is stale; the
+            # program itself is still keyed by a fingerprint that embeds the
+            # emitter version, so a skew here means a hand-edited entry.
+            if source is not None and payload["emitter_version"] != EMITTER_VERSION:
+                raise ValueError("emitter version skew")
+        except Exception:
+            self.stats.errors += 1
+            self._discard(key)
+            return None
+        self.stats.hits += 1
+        return CacheEntry(lowered=lowered, stage2=stage2, source=source)
+
+    # -- write -----------------------------------------------------------------
+    def put(self, key: str, entry: CacheEntry, name: str = "") -> None:
+        """Persist one entry; failures are swallowed (the cache is best-effort)."""
+        from .emit_numpy import EMITTER_VERSION
+
+        payload = {
+            "schema": DISK_SCHEMA_VERSION,
+            "fingerprint": key,
+            "emitter_version": EMITTER_VERSION,
+            "name": name or entry.lowered.name,
+            "program": entry.lowered,
+            "stage2": entry.stage2,
+            "source": entry.source,
+        }
+        meta = {
+            "schema": DISK_SCHEMA_VERSION,
+            "fingerprint": key,
+            "fingerprint_version": FINGERPRINT_VERSION,
+            "emitter_version": EMITTER_VERSION,
+            "name": payload["name"],
+            "emitted": entry.source is not None,
+            "numpy": np.__version__,
+        }
+        pkl_path, py_path, json_path = self._paths(key)
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            self._atomic_write(pkl_path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+            if entry.source is not None:
+                header = f"# fingerprint: {key}\n"
+                self._atomic_write(py_path, (header + entry.source).encode())
+            self._atomic_write(json_path, json.dumps(meta, indent=2).encode())
+        except OSError:
+            self.stats.errors += 1
+            return
+        self.stats.writes += 1
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _discard(self, key: str) -> None:
+        for path in self._paths(key):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def clear(self) -> None:
+        if self.dir.is_dir():
+            for path in self.dir.iterdir():
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def __repr__(self) -> str:
+        return f"DiskKernelCache({str(self.root)!r}, entries={len(self)})"
+
+
+@dataclass
+class _DiskStats:
+    hits: int = 0
+    misses: int = 0
+    errors: int = 0
+    writes: int = 0
+
+
+#: Sentinel: resolve the disk layer from the environment on first use.
+_DISK_FROM_ENV = "auto"
+
+
+class KernelCache:
+    """A thread-safe LRU cache from structural fingerprint to :class:`CacheEntry`.
+
+    Entries hold the lowered stage-III program (plus its stage-II form, kept
+    for scheduling introspection, and the emitted stage-IV source); value
+    data is rebound per build, so one entry serves every workload that shares
+    the structure.
+
+    ``disk`` selects the persistent layer: the default ``"auto"`` resolves
+    ``$REPRO_KERNEL_CACHE`` lazily on first use (no environment variable, no
+    disk I/O); ``None``/``False`` disables it; a path or
+    :class:`DiskKernelCache` enables it explicitly.  Disk lookups satisfy
+    misses of the in-memory layer and promote the entry; every store is
+    written through.
+    """
+
+    def __init__(self, capacity: int = 256, disk: Any = _DISK_FROM_ENV):
         if capacity <= 0:
             raise ValueError("cache capacity must be positive")
         self.capacity = int(capacity)
-        self._entries: "OrderedDict[str, Tuple[PrimFunc, Optional[PrimFunc]]]" = OrderedDict()
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._disk = disk
+
+    # -- persistent layer ------------------------------------------------------
+    @property
+    def disk(self) -> Optional[DiskKernelCache]:
+        """The resolved persistent layer (may be ``None``)."""
+        with self._lock:
+            if self._disk == _DISK_FROM_ENV:
+                self._disk = DiskKernelCache.from_env()
+            elif self._disk is False:
+                self._disk = None
+            elif self._disk is not None and not isinstance(self._disk, DiskKernelCache):
+                self._disk = DiskKernelCache(self._disk)
+            return self._disk
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
-    def get(self, key: str) -> Optional[Tuple[PrimFunc, Optional[PrimFunc]]]:
-        entry = self._entries.get(key)
-        if entry is None:
+    def get(self, key: str) -> Optional[CacheEntry]:
+        """Look up one fingerprint in memory, then on disk; ``None`` on miss.
+
+        The lock covers only the in-memory bookkeeping: disk reads (file I/O
+        and unpickling) run outside it so a slow persistent layer never
+        blocks other threads' memory hits.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry
+            disk = self.disk
+            if disk is None:
+                self.stats.misses += 1
+                return None
+        loaded = disk.get(key)
+        with self._lock:
+            self.stats.disk_errors = disk.stats.errors
+            # Another thread may have stored the entry while we read disk;
+            # prefer the shared one so its compiled runner is reused.
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry
+            if loaded is not None:
+                self.stats.disk_hits += 1
+                self.stats.hits += 1
+                self._store(key, loaded)
+                return loaded
+            self.stats.disk_misses += 1
             self.stats.misses += 1
             return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
+
+    def put(self, key: str, lowered: Any, stage2: Optional[PrimFunc] = None, source: Optional[str] = None) -> CacheEntry:
+        """Insert an entry (a :class:`CacheEntry` or a lowered program).
+
+        The disk write-through (pickling + atomic file writes) happens
+        outside the lock; entries are immutable once built, so concurrent
+        writers of the same key produce identical payloads.
+        """
+        entry = (
+            lowered
+            if isinstance(lowered, CacheEntry)
+            else CacheEntry(lowered=lowered, stage2=stage2, source=source)
+        )
+        with self._lock:
+            self._store(key, entry)
+            disk = self.disk
+        if disk is not None:
+            disk.put(key, entry)
         return entry
 
-    def put(self, key: str, lowered: PrimFunc, stage2: Optional[PrimFunc] = None) -> None:
-        self._entries[key] = (lowered, stage2)
+    def _store(self, key: str, entry: CacheEntry) -> None:
+        self._entries[key] = entry
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.stats = CacheStats()
+        """Drop the in-memory entries and reset statistics (disk is kept)."""
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
 
 
 #: Process-wide cache used by ``build()`` unless a caller supplies its own.

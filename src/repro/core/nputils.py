@@ -4,6 +4,12 @@ from __future__ import annotations
 
 import numpy as np
 
+#: Upper bound on the number of lanes a single loop nest may expand to before
+#: the whole-array engines (vectorized executor, emitted kernels) bail out to
+#: the interpreter (guards against memory blowups).  Part of the structural
+#: fingerprint: changing it changes which engine serves a cached kernel.
+MAX_LANES = 1 << 26
+
 
 def ragged_arange(counts: np.ndarray) -> np.ndarray:
     """``concatenate([arange(c) for c in counts])`` without the Python loop.

@@ -78,6 +78,7 @@ def build_sddmm_program(
     x: Optional[np.ndarray] = None,
     y: Optional[np.ndarray] = None,
     fuse_ij: bool = True,
+    dtype: str = "float32",
 ) -> PrimFunc:
     """The SDDMM program; with ``fuse_ij`` the (i, j) axes iterate as one loop."""
     builder = ProgramBuilder("sddmm")
@@ -88,10 +89,10 @@ def build_sddmm_program(
     i_dense = builder.dense_fixed("I_", csr.rows)
     j_dense = builder.dense_fixed("J_", csr.cols)
     k_axis = builder.dense_fixed("K", feat_size)
-    a_buf = builder.match_sparse_buffer("A", [i_axis, j_axis], data=csr.data)
-    out_buf = builder.match_sparse_buffer("OUT", [i_axis, j_axis])
-    x_buf = builder.match_sparse_buffer("X", [i_dense, k_axis], data=x)
-    y_buf = builder.match_sparse_buffer("Y", [k_axis, j_dense], data=y)
+    a_buf = builder.match_sparse_buffer("A", [i_axis, j_axis], dtype=dtype, data=csr.data)
+    out_buf = builder.match_sparse_buffer("OUT", [i_axis, j_axis], dtype=dtype)
+    x_buf = builder.match_sparse_buffer("X", [i_dense, k_axis], dtype=dtype, data=x)
+    y_buf = builder.match_sparse_buffer("Y", [k_axis, j_dense], dtype=dtype, data=y)
     axes = [fuse(i_axis, j_axis), k_axis] if fuse_ij else [i_axis, j_axis, k_axis]
     with builder.sp_iter(axes, "SSR", "sddmm") as (i, j, k):
         builder.init(out_buf[i, j], 0.0)

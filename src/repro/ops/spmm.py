@@ -92,7 +92,12 @@ def spmm(
 # SparseTIR programs (compiled through the full pipeline)
 # ---------------------------------------------------------------------------
 
-def build_spmm_program(csr: CSRMatrix, feat_size: int, features: Optional[np.ndarray] = None) -> PrimFunc:
+def build_spmm_program(
+    csr: CSRMatrix,
+    feat_size: int,
+    features: Optional[np.ndarray] = None,
+    dtype: str = "float32",
+) -> PrimFunc:
     """The CSR SpMM program of Figure 3."""
     builder = ProgramBuilder("spmm")
     i_axis = builder.dense_fixed("I", csr.rows)
@@ -101,9 +106,9 @@ def build_spmm_program(csr: CSRMatrix, feat_size: int, features: Optional[np.nda
     )
     j_dense = builder.dense_fixed("J_", csr.cols)
     k_axis = builder.dense_fixed("K", feat_size)
-    a_buf = builder.match_sparse_buffer("A", [i_axis, j_axis], data=csr.data)
-    b_buf = builder.match_sparse_buffer("B", [j_dense, k_axis], data=features)
-    c_buf = builder.match_sparse_buffer("C", [i_axis, k_axis])
+    a_buf = builder.match_sparse_buffer("A", [i_axis, j_axis], dtype=dtype, data=csr.data)
+    b_buf = builder.match_sparse_buffer("B", [j_dense, k_axis], dtype=dtype, data=features)
+    c_buf = builder.match_sparse_buffer("C", [i_axis, k_axis], dtype=dtype)
     with builder.sp_iter([i_axis, j_axis, k_axis], "SRS", "spmm") as (i, j, k):
         builder.init(c_buf[i, k], 0.0)
         builder.compute(c_buf[i, k], c_buf[i, k] + a_buf[i, j] * b_buf[j, k])
@@ -111,7 +116,10 @@ def build_spmm_program(csr: CSRMatrix, feat_size: int, features: Optional[np.nda
 
 
 def build_spmm_hyb_program(
-    hyb: HybFormat, feat_size: int, features: Optional[np.ndarray] = None
+    hyb: HybFormat,
+    feat_size: int,
+    features: Optional[np.ndarray] = None,
+    dtype: str = "float32",
 ) -> PrimFunc:
     """SpMM decomposed over the buckets of a hyb format.
 
@@ -126,8 +134,8 @@ def build_spmm_hyb_program(
     i_axis = builder.dense_fixed("I", rows)
     k_axis = builder.dense_fixed("K", feat_size)
     j_dense = builder.dense_fixed("J_", cols)
-    b_buf = builder.match_sparse_buffer("B", [j_dense, k_axis], data=features)
-    c_buf = builder.match_sparse_buffer("C", [i_axis, k_axis])
+    b_buf = builder.match_sparse_buffer("B", [j_dense, k_axis], dtype=dtype, data=features)
+    c_buf = builder.match_sparse_buffer("C", [i_axis, k_axis], dtype=dtype)
 
     with builder.sp_iter([i_axis, k_axis], "SS", "init_output") as (i, k):
         builder.compute(c_buf[i, k], 0.0)
@@ -141,7 +149,9 @@ def build_spmm_hyb_program(
             indices=(ell.indices + np.where(ell.indices >= 0, bucket.col_offset, 0)).reshape(-1),
         )
         k_local = builder.dense_fixed(f"K_{name}", feat_size)
-        values = builder.match_sparse_buffer(f"A_{name}", [row_axis, col_axis], data=ell.data.reshape(-1))
+        values = builder.match_sparse_buffer(
+            f"A_{name}", [row_axis, col_axis], dtype=dtype, data=ell.data.reshape(-1)
+        )
         row_map = builder.match_sparse_buffer(
             f"rowmap_{name}", [row_axis], dtype="int32", data=ell.row_map
         )

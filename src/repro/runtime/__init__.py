@@ -1,10 +1,12 @@
 """Runtime: NumPy-backed execution of lowered SparseTIR programs.
 
-Two execution engines share identical semantics: the element-by-element
-:class:`Executor` (the numerical ground truth) and the batched
-:class:`VectorizedExecutor` fast path.  :class:`Session` is the
-compile-once/run-many entry point bundling format decomposition, kernel
-building (with structural caching) and engine selection.
+Three execution tiers share identical semantics: the element-by-element
+:class:`Executor` (the numerical ground truth), the batched
+:class:`VectorizedExecutor` fast path, and the emitted stage-IV kernels
+(:mod:`repro.core.codegen.emit_numpy`) whose lane plan is fixed into
+generated source.  :class:`Session` is the compile-once/run-many entry point
+bundling format decomposition, kernel building (with structural and
+persistent caching) and engine selection.
 """
 
 from .executor import Executor, prepare_arrays, run_primfunc

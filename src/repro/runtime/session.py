@@ -9,9 +9,13 @@ A :class:`Session` bundles everything between "here is a sparse matrix" and
 * **kernel building with structural caching** — every ``build()`` goes
   through the session's :class:`~repro.core.codegen.cache.KernelCache`, so
   identical programs are lowered once;
-* **execution engine selection** — kernels run on the vectorized fast path
-  with automatic interpreter fallback, and the session records which engine
-  served each run.
+* **persistent warm starts** — the kernel cache can carry an on-disk layer
+  (``persistent=True`` or ``$REPRO_KERNEL_CACHE``), so a fresh process
+  reloads lowered programs and emitted stage-IV source instead of
+  recompiling them;
+* **execution engine selection** — kernels run on the emitted stage-IV
+  kernel when available, then the vectorized fast path, then the
+  interpreter, and the session records which tier served each run.
 
 Operator-level helpers (:meth:`Session.spmm`, :meth:`Session.sddmm`,
 :meth:`Session.pruned_spmm`, :meth:`Session.batched_spmm`,
@@ -29,7 +33,7 @@ Example:
     >>> csr = CSRMatrix.from_dense(np.eye(4, dtype=np.float32))
     >>> session.spmm(csr, np.ones((4, 2), dtype=np.float32)).shape
     (4, 2)
-    >>> session.stats.vectorized_runs
+    >>> session.stats.emitted_runs
     1
 """
 
@@ -49,19 +53,32 @@ from ..core.program import PrimFunc
 
 @dataclass
 class SessionStats:
-    """Counters describing the compile/run activity of one session."""
+    """Counters describing the compile/run activity of one session.
+
+    ``emitted_runs`` / ``vectorized_runs`` / ``interpreted_runs`` count which
+    dispatch tier served each kernel execution.  Compilation-side counters
+    (``lowerings``, ``emissions``, ``disk_hits``) live on the kernel cache —
+    read them from ``session.cache.stats`` to assert that a warm-started
+    process did no compilation work at all.
+    """
 
     builds: int = 0
     kernel_cache_hits: int = 0
     kernel_cache_misses: int = 0
     format_cache_hits: int = 0
     format_cache_misses: int = 0
+    emitted_runs: int = 0
     vectorized_runs: int = 0
     interpreted_runs: int = 0
 
     @property
     def runs(self) -> int:
-        return self.vectorized_runs + self.interpreted_runs
+        return self.emitted_runs + self.vectorized_runs + self.interpreted_runs
+
+    @property
+    def fast_runs(self) -> int:
+        """Runs served without the scalar interpreter (emitted or vectorized)."""
+        return self.emitted_runs + self.vectorized_runs
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -70,6 +87,7 @@ class SessionStats:
             "kernel_cache_misses": self.kernel_cache_misses,
             "format_cache_hits": self.format_cache_hits,
             "format_cache_misses": self.format_cache_misses,
+            "emitted_runs": self.emitted_runs,
             "vectorized_runs": self.vectorized_runs,
             "interpreted_runs": self.interpreted_runs,
         }
@@ -88,11 +106,36 @@ def _content_key(*parts: Any) -> str:
     digest = hashlib.sha1()
     for part in parts:
         if isinstance(part, np.ndarray):
-            digest.update(np.ascontiguousarray(part).tobytes())
+            arr = np.ascontiguousarray(part)
+            digest.update(str(arr.dtype).encode())
+            digest.update(arr.tobytes())
         else:
             digest.update(repr(part).encode())
         digest.update(b"|")
     return digest.hexdigest()
+
+
+def _resolve_dtype(arrays: Any, dtype: Any) -> str:
+    """The value dtype an operator should compute in.
+
+    ``None`` infers from the operands (a single array or a sequence of
+    them): if *any* operand is float64 the whole kernel computes in float64,
+    everything else computes in the paper's float32 — so no operand is ever
+    silently downcast.  The resolved dtype flows into the generated
+    program's buffers — and therefore into the structural fingerprint — so a
+    float32 cache entry can never serve a float64 caller.
+    """
+    if dtype is None:
+        operands = arrays if isinstance(arrays, (tuple, list)) else (arrays,)
+        return (
+            "float64"
+            if any(np.asarray(a).dtype == np.float64 for a in operands)
+            else "float32"
+        )
+    name = np.dtype(dtype).name
+    if name not in ("float32", "float64"):
+        raise ValueError(f"unsupported value dtype {name!r}; use float32 or float64")
+    return name
 
 
 class Session:
@@ -106,8 +149,15 @@ class Session:
         lowering work with plain ``build()`` calls, or ``False`` to disable
         kernel caching.
     engine:
-        Execution backend passed to :meth:`Kernel.run`: ``"auto"`` (default),
+        Execution backend passed to :meth:`Kernel.run`: ``"auto"`` (default:
+        emitted, then vectorized, then interpreter), ``"emitted"``,
         ``"vectorized"`` or ``"interpret"``.
+    persistent:
+        On-disk layer of the session's private kernel cache: ``None``
+        (default) follows ``$REPRO_KERNEL_CACHE``; ``True`` uses the default
+        location (``~/.cache/repro-kernels``); ``False`` disables it; a path
+        selects an explicit cache directory.  Ignored when ``cache`` is
+        given — a shared cache keeps its own disk configuration.
     format_cache_capacity:
         LRU bound on memoised format decompositions (each entry holds a full
         decomposition of one matrix, so this bounds session memory).
@@ -117,11 +167,23 @@ class Session:
         self,
         cache: Optional[KernelCache] = None,
         engine: str = "auto",
+        persistent: Any = None,
         format_cache_capacity: int = 64,
     ):
         if format_cache_capacity <= 0:
             raise ValueError("format_cache_capacity must be positive")
-        self.cache: Any = KernelCache() if cache is None else cache
+        if cache is None:
+            if persistent is None:
+                cache = KernelCache()  # disk layer resolved from the environment
+            elif persistent is True:
+                from ..core.codegen.cache import DiskKernelCache
+
+                cache = KernelCache(disk=DiskKernelCache())
+            elif persistent is False:
+                cache = KernelCache(disk=None)
+            else:
+                cache = KernelCache(disk=persistent)
+        self.cache: Any = cache
         self.engine = engine
         self.stats = SessionStats()
         self.format_cache_capacity = int(format_cache_capacity)
@@ -156,7 +218,9 @@ class Session:
     ) -> Dict[str, np.ndarray]:
         """Execute an already-built kernel with the session's engine."""
         result = kernel.run(bindings, engine=self.engine)
-        if kernel.last_engine == "vectorized":
+        if kernel.last_engine == "emitted":
+            self.stats.emitted_runs += 1
+        elif kernel.last_engine == "vectorized":
             self.stats.vectorized_runs += 1
         else:
             self.stats.interpreted_runs += 1
@@ -212,6 +276,7 @@ class Session:
         format: str = "csr",
         num_col_parts: int = 1,
         num_buckets: Optional[int] = None,
+        dtype: Any = None,
     ) -> np.ndarray:
         """``A @ X`` through the full compile/execute pipeline.
 
@@ -223,25 +288,37 @@ class Session:
                 and runs the per-bucket ELL programs.
             num_col_parts: Column partitions of the ``hyb`` decomposition.
             num_buckets: Bucket count of the ``hyb`` decomposition.
+            dtype: Value dtype to compute in (``float32``/``float64``).
+                ``None`` infers from the operands (float64 anywhere means a
+                float64 kernel); the dtype is part of the program structure,
+                so float32 and float64 callers never share a cached kernel.
 
         Returns:
-            The dense product, shape ``(rows, feat)``.
+            The dense product, shape ``(rows, feat)`` in the resolved dtype.
         """
         from ..ops.spmm import build_spmm_hyb_program, build_spmm_program
 
-        features = np.asarray(features, dtype=np.float32)
+        value_dtype = _resolve_dtype((features, csr.data), dtype)
+        features = np.asarray(features, dtype=value_dtype)
         feat_size = features.shape[1]
         if format == "csr":
-            func = build_spmm_program(csr, feat_size, features)
+            func = build_spmm_program(csr, feat_size, features, dtype=value_dtype)
         elif format == "hyb":
             hyb = self.decompose_hyb(csr, num_col_parts=num_col_parts, num_buckets=num_buckets)
-            func = build_spmm_hyb_program(hyb, feat_size, features)
+            func = build_spmm_hyb_program(hyb, feat_size, features, dtype=value_dtype)
         else:
             raise ValueError(f"unknown SpMM format {format!r}; use 'csr' or 'hyb'")
         out = self.run(func)
         return out["C"].reshape(csr.rows, feat_size)
 
-    def sddmm(self, csr, x: np.ndarray, y: np.ndarray, fuse_ij: bool = True) -> np.ndarray:
+    def sddmm(
+        self,
+        csr,
+        x: np.ndarray,
+        y: np.ndarray,
+        fuse_ij: bool = True,
+        dtype: Any = None,
+    ) -> np.ndarray:
         """Sampled dense-dense matmul at the non-zeros of ``csr``.
 
         Args:
@@ -249,15 +326,17 @@ class Session:
             x: Dense operand of shape ``(rows, feat)``.
             y: Dense operand of shape ``(feat, cols)``.
             fuse_ij: Iterate the (row, edge) axes as one fused loop.
+            dtype: Value dtype to compute in; ``None`` infers from the operands.
 
         Returns:
             The new edge values in CSR order, shape ``(nnz,)``.
         """
         from ..ops.sddmm import build_sddmm_program
 
-        x = np.asarray(x, dtype=np.float32)
-        y = np.asarray(y, dtype=np.float32)
-        func = build_sddmm_program(csr, x.shape[1], x, y, fuse_ij=fuse_ij)
+        value_dtype = _resolve_dtype((x, y, csr.data), dtype)
+        x = np.asarray(x, dtype=value_dtype)
+        y = np.asarray(y, dtype=value_dtype)
+        func = build_sddmm_program(csr, x.shape[1], x, y, fuse_ij=fuse_ij, dtype=value_dtype)
         out = self.run(func)
         return out["OUT"][: csr.nnz]
 

@@ -77,7 +77,7 @@ from ..core.expr import (
     Var,
     structural_equal,
 )
-from ..core.nputils import ragged_arange
+from ..core.nputils import MAX_LANES, ragged_arange
 from ..core.program import STAGE_LOOP, PrimFunc
 from ..core.stage2.lowering import BINARY_SEARCH, ROW_UPPER_BOUND
 from ..core.stmt import (
@@ -99,9 +99,13 @@ class UnsupportedProgram(Exception):
     """The program contains a construct the vectorized executor cannot batch."""
 
 
-#: Upper bound on the number of lanes a single loop nest may expand to before
-#: the executor bails out to the interpreter (guards against memory blowups).
-MAX_LANES = 1 << 26
+__all__ = [
+    "MAX_LANES",
+    "UnsupportedProgram",
+    "VectorizedExecutor",
+    "coords_to_positions",
+    "sorted_axis_keys",
+]
 
 _BINOP_TABLE = {
     Add: operator.add,
@@ -538,42 +542,60 @@ class VectorizedExecutor:
     def _coords_to_positions(
         self, axis: Axis, parent: np.ndarray, coord: np.ndarray
     ) -> np.ndarray:
-        """Vectorized ``axis.coordinate_to_position``; -1 marks structural zeros."""
-        if isinstance(axis, DenseFixedAxis):
-            return np.where((coord >= 0) & (coord < axis.length), coord, -1)
-        if isinstance(axis, DenseVariableAxis):
-            extents = axis.indptr[parent + 1] - axis.indptr[parent]
-            return np.where((coord >= 0) & (coord < extents), coord, -1)
-        if isinstance(axis, SparseVariableAxis):
-            keys, starts, stride = self._sorted_keys(axis)
-            targets = coord + parent * stride
-            hits = np.searchsorted(keys, targets)
-            safe = np.minimum(hits, max(len(keys) - 1, 0))
-            found = (hits < len(keys)) & (keys[safe] == targets) if len(keys) else np.zeros_like(targets, dtype=bool)
-            return np.where(found, hits - starts[parent], -1)
-        if isinstance(axis, SparseFixedAxis):
-            table = axis.indices.reshape(-1, axis.nnz_cols)
-            if parent.size * axis.nnz_cols > MAX_LANES:
-                raise UnsupportedProgram("ELL coordinate search too large to batch")
-            rows = table[parent]
-            match = rows == coord[:, None]
-            found = match.any(axis=1)
-            return np.where(found, match.argmax(axis=1), -1)
-        raise UnsupportedProgram(f"unsupported axis type {type(axis).__name__}")
+        return coords_to_positions(axis, parent, coord, self._axis_lookup_cache)
 
-    def _sorted_keys(self, axis: SparseVariableAxis) -> Tuple[np.ndarray, np.ndarray, int]:
-        """Per-row-disambiguated key array for one searchsorted over all rows."""
-        cached = self._axis_lookup_cache.get(id(axis))
+
+def sorted_axis_keys(
+    axis: SparseVariableAxis, cache: Optional[Dict[int, Tuple[np.ndarray, np.ndarray, int]]] = None
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Per-row-disambiguated key array for one searchsorted over all rows."""
+    if cache is not None:
+        cached = cache.get(id(axis))
         if cached is not None:
             return cached
-        indptr = axis.indptr
-        indices = axis.indices
-        stride = int(axis.length) + 2
-        row_of = np.repeat(np.arange(len(indptr) - 1, dtype=np.int64), np.diff(indptr))
-        keys = indices + row_of * stride
-        entry = (keys, indptr.astype(np.int64, copy=False), stride)
-        self._axis_lookup_cache[id(axis)] = entry
-        return entry
+    indptr = axis.indptr
+    indices = axis.indices
+    stride = int(axis.length) + 2
+    row_of = np.repeat(np.arange(len(indptr) - 1, dtype=np.int64), np.diff(indptr))
+    keys = indices + row_of * stride
+    entry = (keys, indptr.astype(np.int64, copy=False), stride)
+    if cache is not None:
+        cache[id(axis)] = entry
+    return entry
+
+
+def coords_to_positions(
+    axis: Axis,
+    parent: np.ndarray,
+    coord: np.ndarray,
+    cache: Optional[Dict[int, Tuple[np.ndarray, np.ndarray, int]]] = None,
+) -> np.ndarray:
+    """Vectorized ``axis.coordinate_to_position``; -1 marks structural zeros.
+
+    Shared by the vectorized executor and by emitted stage-IV kernels (which
+    call it once at plan time, through the ``helpers`` namespace).
+    """
+    if isinstance(axis, DenseFixedAxis):
+        return np.where((coord >= 0) & (coord < axis.length), coord, -1)
+    if isinstance(axis, DenseVariableAxis):
+        extents = axis.indptr[parent + 1] - axis.indptr[parent]
+        return np.where((coord >= 0) & (coord < extents), coord, -1)
+    if isinstance(axis, SparseVariableAxis):
+        keys, starts, stride = sorted_axis_keys(axis, cache)
+        targets = coord + parent * stride
+        hits = np.searchsorted(keys, targets)
+        safe = np.minimum(hits, max(len(keys) - 1, 0))
+        found = (hits < len(keys)) & (keys[safe] == targets) if len(keys) else np.zeros_like(targets, dtype=bool)
+        return np.where(found, hits - starts[parent], -1)
+    if isinstance(axis, SparseFixedAxis):
+        table = axis.indices.reshape(-1, axis.nnz_cols)
+        if parent.size * axis.nnz_cols > MAX_LANES:
+            raise UnsupportedProgram("ELL coordinate search too large to batch")
+        rows = table[parent]
+        match = rows == coord[:, None]
+        found = match.any(axis=1)
+        return np.where(found, match.argmax(axis=1), -1)
+    raise UnsupportedProgram(f"unsupported axis type {type(axis).__name__}")
 
 
 def _ambient_loads(stmt: Stmt) -> List[BufferLoad]:

@@ -1,0 +1,111 @@
+"""Concurrency: threads sharing a Session / KernelCache must never corrupt it.
+
+The kernel cache is hit from model code (one session shared across layers),
+the tuner, and benchmark sweeps; any of those may run under a thread pool.
+These tests hammer the same cache from multiple threads — same structure
+(racing on one entry, including the lazy emitted-runner compile) and mixed
+structures (racing on LRU bookkeeping and disk write-through) — and assert
+that every thread saw bit-correct results and the cache ended consistent.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.core.codegen.cache import DiskKernelCache, KernelCache
+from repro.formats.csr import CSRMatrix
+from repro.ops.spmm import build_spmm_program, spmm_reference
+from repro.runtime.session import Session
+
+THREADS = 8
+ROUNDS = 10
+
+
+def _run_threads(worker):
+    errors = []
+    barrier = threading.Barrier(THREADS)
+
+    def wrapped(tid):
+        try:
+            barrier.wait()
+            worker(tid)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append((tid, repr(exc)))
+
+    threads = [threading.Thread(target=wrapped, args=(tid,)) for tid in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+
+
+class TestSharedSession:
+    def test_same_structure_from_many_threads(self):
+        csr = CSRMatrix.random(rows=20, cols=16, density=0.25, seed=0)
+        session = Session(persistent=False)
+        rng = np.random.default_rng(1)
+        features = [rng.standard_normal((16, 4)).astype(np.float32) for _ in range(THREADS)]
+        expected = [spmm_reference(csr, x) for x in features]
+
+        def worker(tid):
+            for _ in range(ROUNDS):
+                out = session.spmm(csr, features[tid])
+                assert np.allclose(out, expected[tid], atol=1e-4)
+
+        _run_threads(worker)
+        # Every thread raced on ONE structural entry; the cache must hold it
+        # exactly once and account for every build.
+        assert len(session.cache) == 1
+        stats = session.cache.stats
+        assert stats.hits + stats.misses == THREADS * ROUNDS
+        assert stats.misses >= 1
+        assert session.stats.runs == THREADS * ROUNDS
+
+    def test_mixed_structures_with_eviction(self):
+        session = Session(persistent=False)
+        session.cache.capacity = 4  # force LRU churn under contention
+        matrices = [
+            CSRMatrix.random(rows=10 + i, cols=12, density=0.3, seed=i) for i in range(6)
+        ]
+        rng = np.random.default_rng(2)
+        feats = rng.standard_normal((12, 3)).astype(np.float32)
+        expected = [spmm_reference(m, feats) for m in matrices]
+
+        def worker(tid):
+            for round_ in range(ROUNDS):
+                index = (tid + round_) % len(matrices)
+                out = session.spmm(matrices[index], feats)
+                assert np.allclose(out, expected[index], atol=1e-4)
+
+        _run_threads(worker)
+        assert len(session.cache) <= 4
+
+
+class TestDiskWriteThrough:
+    def test_concurrent_writers_leave_no_partial_entries(self, tmp_path):
+        """Atomic write-rename: concurrent put/get of the same keys must only
+        ever observe complete payloads."""
+        csr = CSRMatrix.random(rows=18, cols=14, density=0.3, seed=3)
+        feats = np.ones((14, 2), dtype=np.float32)
+        func = build_spmm_program(csr, 2, feats)
+
+        def worker(tid):
+            # Each thread gets its own in-memory cache but shares the disk
+            # directory, so every round exercises the disk read/write paths.
+            cache = KernelCache(disk=DiskKernelCache(tmp_path))
+            session = Session(cache=cache)
+            for _ in range(ROUNDS):
+                out = session.run(func)["C"].reshape(csr.rows, 2)
+                assert np.allclose(out, spmm_reference(csr, feats), atol=1e-4)
+
+        _run_threads(worker)
+        disk = DiskKernelCache(tmp_path)
+        assert len(disk) == 1
+        # No temp files left behind, and the surviving entry loads cleanly.
+        leftovers = [p for p in disk.dir.iterdir() if p.suffix == ".tmp"]
+        assert not leftovers
+        key = next(iter(disk.dir.glob("*.pkl"))).stem
+        entry = disk.get(key)
+        assert entry is not None and entry.source is not None
+        assert disk.stats.errors == 0

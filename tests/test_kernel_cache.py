@@ -84,10 +84,10 @@ class TestKernelCache:
         cache = KernelCache()
         x = rng.standard_normal((csr.cols, 4)).astype(np.float32)
         build(build_spmm_program(csr, 4, x), cache=cache)
-        (lowered, stage2) = next(iter(cache._entries.values()))
-        assert all(buf.data is None for buf in lowered.buffers)
-        assert stage2 is not None
-        assert all(buf.data is None for buf in stage2.buffers)
+        entry = next(iter(cache._entries.values()))
+        assert all(buf.data is None for buf in entry.lowered.buffers)
+        assert entry.stage2 is not None
+        assert all(buf.data is None for buf in entry.stage2.buffers)
 
     def test_different_sparsity_misses(self, csr, rng):
         cache = KernelCache()
@@ -123,6 +123,68 @@ class TestKernelCache:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             KernelCache(capacity=0)
+
+
+class TestValueDtypeFingerprint:
+    """Regression: a float32 cache entry must never serve a float64 caller.
+
+    The structural fingerprint includes every buffer's value dtype, and the
+    session resolves the compute dtype from its operands, so the two
+    precisions build (and cache) distinct kernels.
+    """
+
+    def test_fingerprints_differ_by_value_dtype(self, csr, rng):
+        x32 = rng.standard_normal((csr.cols, 4)).astype(np.float32)
+        f32 = structural_fingerprint(build_spmm_program(csr, 4, x32, dtype="float32"))
+        f64 = structural_fingerprint(
+            build_spmm_program(csr, 4, x32.astype(np.float64), dtype="float64")
+        )
+        assert f32 != f64
+
+    def test_float64_caller_gets_float64_kernel(self, csr, rng):
+        session = Session()
+        x64 = rng.standard_normal((csr.cols, 4)).astype(np.float64)
+        # Warm the cache with the float32 variant of the same structure.
+        out32 = session.spmm(csr, x64.astype(np.float32))
+        assert out32.dtype == np.float32
+        assert session.stats.kernel_cache_misses == 1
+
+        out64 = session.spmm(csr, x64)
+        assert out64.dtype == np.float64
+        # Distinct structure -> a second miss, never a hit on the f32 entry.
+        assert session.stats.kernel_cache_misses == 2
+        assert session.stats.kernel_cache_hits == 0
+        assert len(session.cache) == 2
+        # And the result carries float64 precision: compare against a float64
+        # reference at a tolerance float32 arithmetic cannot meet.
+        reference = csr.to_scipy().astype(np.float64) @ x64
+        np.testing.assert_allclose(out64, reference, rtol=1e-12, atol=1e-12)
+
+    def test_explicit_dtype_overrides_inference(self, csr, rng):
+        session = Session()
+        x32 = rng.standard_normal((csr.cols, 2)).astype(np.float32)
+        out = session.spmm(csr, x32, dtype="float64")
+        assert out.dtype == np.float64
+        with pytest.raises(ValueError):
+            session.spmm(csr, x32, dtype="int32")
+
+    def test_mixed_operands_promote_to_float64(self, csr, rng):
+        """A float64 anywhere among the operands must not be silently
+        downcast by inferring the dtype from the first operand only."""
+        session = Session()
+        x32 = rng.standard_normal((csr.rows, 3)).astype(np.float32)
+        y64 = rng.standard_normal((3, csr.cols)).astype(np.float64)
+        out = session.sddmm(csr, x32, y64)
+        assert out.dtype == np.float64
+
+    def test_sddmm_dtype_threads_through(self, csr, rng):
+        session = Session()
+        x = rng.standard_normal((csr.rows, 3)).astype(np.float64)
+        y = rng.standard_normal((3, csr.cols)).astype(np.float64)
+        out = session.sddmm(csr, x, y)
+        assert out.dtype == np.float64
+        reference = (x @ y)[csr.to_scipy().nonzero()] * csr.data
+        np.testing.assert_allclose(out, reference, rtol=1e-10)
 
 
 class TestTunerReuse:

@@ -109,7 +109,7 @@ class TestRGCN:
         assert np.allclose(compiled, reference, atol=1e-3)
         # Two layers -> two kernel builds, executed on the fast path.
         assert session.stats.builds == 2
-        assert session.stats.vectorized_runs == 2
+        assert session.stats.fast_runs == 2
         # A second forward pass reuses both lowered kernels.
         model.forward(x, session=session)
         assert session.stats.kernel_cache_hits == 2
@@ -166,7 +166,7 @@ class TestMinkowski:
         compiled = layer.forward(features, session=session)
         reference = layer.forward(features)
         assert np.allclose(compiled, reference, atol=1e-4)
-        assert session.stats.vectorized_runs == 1
+        assert session.stats.fast_runs == 1
 
     def test_layer_time_estimates(self, conv_problem):
         times = minkowski.estimate_layer_times(conv_problem, V100)

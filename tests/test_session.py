@@ -30,7 +30,7 @@ class TestSessionOps:
         out = session.spmm(csr, x)
         assert out.shape == (csr.rows, 5)
         assert np.allclose(out, spmm_ops.spmm_reference(csr, x), atol=1e-4)
-        assert session.stats.vectorized_runs == 1
+        assert session.stats.fast_runs == 1
 
     def test_spmm_hyb(self, csr, rng):
         x = rng.standard_normal((csr.cols, 5)).astype(np.float32)
@@ -74,7 +74,7 @@ class TestBatchedAttentionOps:
         out = session.batched_spmm(mask, feats)
         assert out.shape == (3, mask.rows, 5)
         assert np.array_equal(out, batched_ops.batched_spmm_reference(mask, feats))
-        assert session.stats.vectorized_runs == 1
+        assert session.stats.fast_runs == 1
         assert session.stats.interpreted_runs == 0
 
     def test_batched_spmm_bsr_bit_exact(self, mask, rng):
@@ -82,7 +82,7 @@ class TestBatchedAttentionOps:
         session = Session()
         out = session.batched_spmm(mask, feats, format="bsr", block_size=4)
         assert np.array_equal(out, batched_ops.batched_spmm_reference(mask, feats))
-        assert session.stats.vectorized_runs == 1
+        assert session.stats.fast_runs == 1
 
     def test_batched_spmm_rejects_bad_inputs(self, mask, rng):
         session = Session()
@@ -103,7 +103,7 @@ class TestBatchedAttentionOps:
         ref = batched_ops.batched_sddmm_reference(mask, q, k)
         assert out.shape == (2, mask.nnz)
         assert np.allclose(out, ref, atol=1e-5)
-        assert session.stats.vectorized_runs == 1
+        assert session.stats.fast_runs == 1
 
     def test_batched_sddmm_bsr_matches_csr_order(self, mask, rng):
         q = rng.standard_normal((2, mask.rows, 4)).astype(np.float32)
@@ -182,7 +182,7 @@ class TestRGMSAndSparseConvOps:
         out = session.rgms(adjacency, x, w)
         assert out.shape == (48, 4)
         assert np.allclose(out, rgms_ops.rgms_reference(adjacency, x, w), atol=1e-4)
-        assert session.stats.vectorized_runs == 1
+        assert session.stats.fast_runs == 1
 
     def test_rgms_engines_agree_bit_exactly(self, adjacency, rng):
         x = rng.standard_normal((48, 6)).astype(np.float32)
@@ -219,7 +219,7 @@ class TestRGMSAndSparseConvOps:
         ref = conv_ops.sparse_conv_reference(conv_problem, feats, weights)
         assert out.shape == ref.shape
         assert np.allclose(out, ref, atol=1e-4)
-        assert session.stats.vectorized_runs == 1
+        assert session.stats.fast_runs == 1
 
     def test_sparse_conv_engines_agree_bit_exactly(self, conv_problem, rng):
         feats = rng.standard_normal(

@@ -72,3 +72,41 @@ class TestSpMMTuner:
             spmm_hyb_workload(HybFormat.from_csr(graph, num_col_parts=1), 64, V100)
         ).duration_us
         assert result.best_cost <= default * 1.001
+
+
+class TestWallclockObjective:
+    def test_wallclock_tuning_executes_through_three_tier_runtime(self):
+        from repro.runtime import Session
+        from repro.tune.search_space import Choice, ParameterSpace
+
+        graph = generate_adjacency(300, 2400, "powerlaw", seed=7)
+        session = Session()
+        space = ParameterSpace(
+            [
+                Choice("num_col_parts", (1, 2)),
+                Choice("num_buckets", (2,)),
+                Choice("threads_per_block", (128,)),
+            ]
+        )
+        result = tune_spmm(
+            graph, 16, V100, space=space, session=session, objective="wallclock"
+        )
+        assert result.evaluated == 2
+        assert result.best_cost > 0  # measured seconds, not model microseconds
+        # Every candidate executed on the runtime's fast tiers, compile-once:
+        # one build per structure, warm-up + timed call per candidate.
+        assert session.stats.fast_runs == session.stats.runs >= 4
+        assert session.stats.kernel_cache_hits >= 2
+
+    def test_default_wallclock_space_drops_schedule_only_parameters(self):
+        """threads_per_block does not change the NumPy execution, so the
+        default wallclock space must not time duplicate configurations."""
+        graph = generate_adjacency(200, 1200, "powerlaw", seed=9)
+        result = tune_spmm(graph, 8, V100, max_trials=2, objective="wallclock")
+        assert "threads_per_block" not in result.best_config
+        assert {"num_col_parts", "num_buckets"} <= set(result.best_config)
+
+    def test_unknown_objective_rejected(self):
+        graph = generate_adjacency(100, 500, "powerlaw", seed=1)
+        with pytest.raises(ValueError):
+            tune_spmm(graph, 8, V100, objective="guess")
