@@ -1,0 +1,171 @@
+"""Autoscheduler wall-clock harness: tuned vs default decompositions.
+
+Drives :meth:`Session.autotune` over the fig-13 SpMM benchmark graphs and
+writes ``BENCH_tuning.json`` at the repository root — the artifact the CI
+``tune-smoke`` job uploads.  For every graph the harness
+
+1. autotunes the ``spmm`` workload with the two-phase driver, forcing the
+   *current default* hyb configuration (``hyb(1, heuristic)``) into the
+   measured set, so the tuned winner is **at least as fast as the default
+   by construction** (both are timed in the same session, the winner is the
+   minimum);
+2. records the tuned configuration, its predicted cost and measured
+   wallclock next to the default's;
+3. re-opens the record store in a fresh :class:`Session` and verifies the
+   persisted :class:`TuningRecord` replays with zero model evaluations and
+   zero re-measurement.
+
+``test_tuning_smoke`` (CI lane) runs one small graph; ``test_tuning_full``
+(nightly, ``slow``) sweeps every fig-13 graph and writes the committed
+full-mode file.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.runtime.session import Session
+from repro.tune import SpMMProblem, TuningRecordStore
+from repro.workloads.graphs import available_graphs, generate_adjacency, synthetic_graph
+
+_ROOT = Path(__file__).resolve().parent.parent
+#: The committed file; only the full-mode run writes it.
+OUTPUT = _ROOT / "BENCH_tuning.json"
+#: Smoke runs write a sibling file (CI renames it before upload).
+SMOKE_OUTPUT = _ROOT / "BENCH_tuning.smoke.json"
+
+#: The untuned baseline every row is compared against: the default hyb
+#: decomposition (one column partition, heuristic bucket count) at the
+#: default thread-block size.
+DEFAULT_HYB = {
+    "format": "hyb",
+    "num_col_parts": 1,
+    "num_buckets": None,
+    "threads_per_block": 128,
+}
+
+
+def _measured_seconds(history, config_subset):
+    """Best measured seconds of the history entry matching *config_subset*."""
+    best = None
+    for entry in history:
+        if entry["phase"] != "measure":
+            continue
+        if all(entry["config"].get(k) == v for k, v in config_subset.items()):
+            value = entry["measured_s"]
+            best = value if best is None else min(best, value)
+    return best
+
+
+def _tune_one(name, csr, feat_size, store, max_trials, survivors, repeats):
+    session = Session(persistent=False, tuning_records=store)
+    problem = SpMMProblem(csr, feat_size)
+    result = session.autotune(
+        "spmm",
+        problem,
+        max_trials=max_trials,
+        survivors=survivors,
+        repeats=repeats,
+        seed=0,
+        include=[dict(DEFAULT_HYB)],
+    )
+    default_s = _measured_seconds(
+        result.history,
+        {k: DEFAULT_HYB[k] for k in ("format", "num_col_parts", "num_buckets")},
+    )
+    assert default_s is not None, "the default hyb config must be measured"
+    assert result.best_measured_s is not None
+    # The winner is the minimum over a measured set containing the default.
+    assert result.best_measured_s <= default_s
+
+    # Acceptance: a fresh process/session replays the persisted record with
+    # zero re-measurement.
+    fresh = Session(persistent=False, tuning_records=store)
+    replay = fresh.autotune("spmm", problem)
+    assert replay.replayed and replay.evaluated == 0
+    assert fresh.stats.runs == 0
+    assert replay.best_config == result.best_config
+
+    row = {
+        "graph": name,
+        "nodes": csr.rows,
+        "nnz": csr.nnz,
+        "feat_size": feat_size,
+        "evaluated": result.evaluated,
+        "default_config": dict(DEFAULT_HYB),
+        "default_measured_s": default_s,
+        "tuned_config": result.best_config,
+        "tuned_predicted_us": result.best_predicted_us,
+        "tuned_measured_s": result.best_measured_s,
+        "speedup_vs_default": default_s / result.best_measured_s,
+        "replay_verified": True,
+    }
+    print(
+        f"{name:16s} tuned {result.best_measured_s * 1e3:8.3f} ms  "
+        f"default {default_s * 1e3:8.3f} ms  "
+        f"x{row['speedup_vs_default']:.2f}  cfg={result.best_config}"
+    )
+    return row
+
+
+def _run_suite(mode, graphs, feat_size, output, max_trials, survivors, repeats):
+    results = []
+    with tempfile.TemporaryDirectory() as tmp:
+        store = TuningRecordStore(tmp)
+        for name, csr in graphs:
+            results.append(
+                _tune_one(name, csr, feat_size, store, max_trials, survivors, repeats)
+            )
+    speedups = [row["speedup_vs_default"] for row in results]
+    payload = {
+        "schema": 1,
+        "harness": "benchmarks/test_tuning.py",
+        "mode": mode,
+        "workload": "spmm",
+        "numpy": np.__version__,
+        "results": results,
+        "summary": {
+            "graphs": len(results),
+            "geomean_speedup_vs_default": float(np.exp(np.mean(np.log(speedups)))),
+            "min_speedup_vs_default": float(min(speedups)),
+        },
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nwrote {output} (geomean tuned vs default hyb: "
+        f"x{payload['summary']['geomean_speedup_vs_default']:.2f})"
+    )
+    return payload
+
+
+@pytest.mark.figure("tuning")
+def test_tuning_smoke():
+    """Bounded autotune on one small graph — the CI ``tune-smoke`` job."""
+    graph = generate_adjacency(400, 3200, "powerlaw", seed=5)
+    payload = _run_suite(
+        "smoke", [("powerlaw-400", graph)], feat_size=16, output=SMOKE_OUTPUT,
+        max_trials=12, survivors=3, repeats=2,
+    )
+    assert SMOKE_OUTPUT.exists()
+    assert payload["summary"]["min_speedup_vs_default"] >= 1.0
+
+
+@pytest.mark.slow
+@pytest.mark.bench  # also auto-applied by benchmarks/conftest.py; explicit here
+@pytest.mark.figure("tuning")
+def test_tuning_full():
+    """Every fig-13 graph; the committed ``BENCH_tuning.json`` comes from
+    this run.  Acceptance: on each graph the tuned decomposition is at least
+    as fast as the default hyb config, and the persisted TuningRecord
+    replays without re-measurement."""
+    graphs = [
+        (name, synthetic_graph(name, seed=0).to_csr()) for name in available_graphs()
+    ]
+    payload = _run_suite(
+        "full", graphs, feat_size=32, output=OUTPUT,
+        max_trials=24, survivors=4, repeats=3,
+    )
+    assert payload["summary"]["min_speedup_vs_default"] >= 1.0

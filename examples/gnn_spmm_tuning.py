@@ -14,7 +14,7 @@ from repro.ops.spmm import spmm_csr_workload, spmm_hyb_workload, spmm_reference
 from repro.perf.device import V100
 from repro.perf.gpu_model import GPUModel
 from repro.runtime import Session
-from repro.tune import tune_spmm
+from repro.tune import SpMMProblem, tune_spmm
 from repro.workloads.graphs import feature_matrix, synthetic_graph
 
 
@@ -75,6 +75,20 @@ def main() -> None:
     error = float(np.abs(out - spmm_reference(csr, features)).max())
     print(f"tuned hyb kernel executed; max |error| vs dense reference: {error:.2e}")
     print(f"session stats: {session.stats.as_dict()}")
+
+    # The workload-generic autoscheduler (docs/tuning.md) wraps the same
+    # search behind one API: phase 1 prunes the space with the GPU cost
+    # model, phase 2 measures the survivors' wallclock on the cached
+    # emitted-kernel tier, and the winner is remembered so tuned=True
+    # operator calls pick it up automatically.
+    auto = session.autotune(
+        "spmm", SpMMProblem(csr, 16), max_trials=24, survivors=3, repeats=2
+    )
+    print(f"\nautoscheduler best ({auto.evaluated} model evals, "
+          f"{auto.best_measured_s * 1e3:.2f} ms measured): {auto.best_config}")
+    tuned_out = session.spmm(csr, features, tuned=True)
+    print("tuned=True output matches:",
+          bool(np.allclose(tuned_out, spmm_reference(csr, features), atol=1e-3)))
 
 
 if __name__ == "__main__":

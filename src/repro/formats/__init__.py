@@ -18,8 +18,13 @@ from .hyb import HybFormat, HybBucket
 from .dbsr import DBSRMatrix
 from .srbcrs import SRBCRSMatrix
 from .padding import padding_ratio_hyb, padding_ratio_percent
+from .conversion import CONVERSIONS, conversion_targets, convert, roundtrip_dense
 
 __all__ = [
+    "CONVERSIONS",
+    "conversion_targets",
+    "convert",
+    "roundtrip_dense",
     "CSRMatrix",
     "CSCMatrix",
     "COOMatrix",

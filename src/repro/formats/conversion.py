@@ -6,18 +6,104 @@ ELL(nnz_cols) — are provided as factories that produce concrete
 actual matrices, so that decomposed programs can be lowered *and executed*.
 The index-inference step the paper delegates to SciPy happens inside the
 format classes (``BSRMatrix.from_csr`` / ``ELLMatrix.from_csr``).
+
+The module also hosts the **conversion registry**: one named conversion path
+from CSR into every format of the zoo (coo/csc/ell/dia/bsr/csf/hyb/dbsr/
+srbcrs), plus :func:`roundtrip_dense`, which normalises each format's
+``to_dense`` back to the source shape.  Every registered path must be a
+semantic no-op — ``roundtrip_dense(csr, target) == csr.to_dense()`` — which
+is exactly what makes decomposed computations equal the original; the
+property-based conformance suite (``tests/test_format_conformance.py``)
+enforces it across random, empty and duplicate-coordinate inputs.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from ..core.stage1.format_rewrite import FormatRewriteRule
 from .bsr import BSRMatrix
+from .coo import COOMatrix
+from .csc import CSCMatrix
+from .csf import CSFTensor
 from .csr import CSRMatrix
+from .dbsr import DBSRMatrix
+from .dia import DIAMatrix
 from .ell import ELLMatrix
+from .hyb import HybFormat
+from .srbcrs import SRBCRSMatrix
+
+
+# ---------------------------------------------------------------------------
+# The conversion registry
+# ---------------------------------------------------------------------------
+
+def _to_csf(csr: CSRMatrix) -> CSFTensor:
+    """Lift a matrix into a single-slice 3-D CSF tensor."""
+    return CSFTensor((1, csr.rows, csr.cols), [csr])
+
+
+#: Named conversion paths from CSR into every format of the zoo.  Each entry
+#: maps ``(csr, **params)`` to a format object exposing ``to_dense()``.
+CONVERSIONS: Dict[str, Callable[..., Any]] = {
+    "csr": lambda csr: csr,
+    "coo": COOMatrix.from_csr,
+    "csc": CSCMatrix.from_csr,
+    "ell": lambda csr, nnz_cols=None: ELLMatrix.from_csr(csr, nnz_cols),
+    "dia": DIAMatrix.from_csr,
+    "bsr": lambda csr, block_size=2: BSRMatrix.from_csr(csr, block_size),
+    "csf": _to_csf,
+    "hyb": lambda csr, num_col_parts=1, num_buckets=None: HybFormat.from_csr(
+        csr, num_col_parts=num_col_parts, num_buckets=num_buckets
+    ),
+    "dbsr": lambda csr, block_size=2: DBSRMatrix.from_csr(csr, block_size),
+    "srbcrs": lambda csr, tile_rows=2, group_size=2: SRBCRSMatrix(
+        csr, tile_rows, group_size
+    ),
+}
+
+
+def conversion_targets() -> Tuple[str, ...]:
+    """Every registered conversion target, sorted."""
+    return tuple(sorted(CONVERSIONS))
+
+
+def convert(csr: CSRMatrix, target: str, **params: Any) -> Any:
+    """Convert *csr* into *target* format through the registered path.
+
+    Args:
+        csr: The source matrix.
+        target: A key of :data:`CONVERSIONS` (see :func:`conversion_targets`).
+        **params: Format parameters (e.g. ``block_size`` for bsr/dbsr,
+            ``num_col_parts``/``num_buckets`` for hyb, ``tile_rows``/
+            ``group_size`` for srbcrs).
+
+    Returns:
+        The format object; every registered format exposes ``to_dense()``.
+    """
+    try:
+        builder = CONVERSIONS[target]
+    except KeyError:
+        raise ValueError(
+            f"unknown conversion target {target!r}; known: {conversion_targets()}"
+        ) from None
+    return builder(csr, **params)
+
+
+def roundtrip_dense(csr: CSRMatrix, target: str, **params: Any) -> np.ndarray:
+    """``convert(csr, target).to_dense()`` normalised to the source shape.
+
+    Block formats pad the shape up to a block multiple and CSF lifts the
+    matrix to 3-D; this helper crops/squeezes so the result is directly
+    comparable with ``csr.to_dense()`` — the conformance property every
+    conversion path must satisfy.
+    """
+    dense = np.asarray(convert(csr, target, **params).to_dense())
+    if dense.ndim == 3:  # csf: single leading slice
+        dense = dense[0]
+    return dense[: csr.rows, : csr.cols]
 
 
 def bsr_rewrite_rule(

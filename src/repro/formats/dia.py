@@ -23,7 +23,14 @@ class DIAMatrix:
     @classmethod
     def from_scipy(cls, matrix: sp.spmatrix) -> "DIAMatrix":
         dia = sp.dia_matrix(matrix)
-        return cls(dia.shape, dia.offsets, dia.data)
+        # SciPy stores diagonals only up to the last used column (and an
+        # all-zero matrix as a (0, 0) data array); normalise to the
+        # documented (num_diagonals, cols) layout, zero-padding on the right.
+        data = np.zeros((len(dia.offsets), dia.shape[1]), dtype=np.float32)
+        if dia.data.size:
+            width = min(dia.data.shape[1], dia.shape[1])
+            data[:, :width] = dia.data[:, :width]
+        return cls(dia.shape, dia.offsets, data)
 
     @classmethod
     def from_csr(cls, csr: CSRMatrix) -> "DIAMatrix":

@@ -65,6 +65,7 @@ def batched_spmm(
     format: str = "csr",
     block_size: int = 16,
     session=None,
+    tuned: bool = False,
 ) -> np.ndarray:
     """Execute the multi-head SpMM through the pipeline and NumPy runtime.
 
@@ -74,6 +75,7 @@ def batched_spmm(
         format: ``"csr"`` (scalar program) or ``"bsr"`` (block program).
         block_size: BSR block size when ``format="bsr"``.
         session: Optional explicit :class:`~repro.runtime.session.Session`.
+        tuned: Apply the ``attention`` tuning record for this mask/shape.
 
     Returns:
         The per-head products, shape ``(heads, rows, feat)``.
@@ -81,7 +83,9 @@ def batched_spmm(
     from ..runtime.session import get_default_session
 
     session = session or get_default_session()
-    return session.batched_spmm(csr, features, format=format, block_size=block_size)
+    return session.batched_spmm(
+        csr, features, format=format, block_size=block_size, tuned=tuned
+    )
 
 
 def batched_sddmm(
@@ -92,6 +96,7 @@ def batched_sddmm(
     block_size: int = 16,
     scale: Optional[float] = None,
     session=None,
+    tuned: bool = False,
 ) -> np.ndarray:
     """Execute the multi-head SDDMM through the pipeline and NumPy runtime.
 
@@ -104,6 +109,7 @@ def batched_sddmm(
         scale: Optional post-scaling factor (e.g. ``1/sqrt(d)``) applied by a
             separate pointwise iteration.
         session: Optional explicit :class:`~repro.runtime.session.Session`.
+        tuned: Apply the ``attention`` tuning record for this mask/shape.
 
     Returns:
         Per-head edge scores in CSR order, shape ``(heads, nnz)``.
@@ -112,7 +118,7 @@ def batched_sddmm(
 
     session = session or get_default_session()
     return session.batched_sddmm(
-        csr, q, k, format=format, block_size=block_size, scale=scale
+        csr, q, k, format=format, block_size=block_size, scale=scale, tuned=tuned
     )
 
 

@@ -76,7 +76,13 @@ def rgms_two_stage_reference(adjacency: CSFTensor, x: np.ndarray, w: np.ndarray)
 # Executable operator (compile-once/run-many Session path)
 # ---------------------------------------------------------------------------
 
-def rgms(adjacency: CSFTensor, x: np.ndarray, w: np.ndarray, session=None) -> np.ndarray:
+def rgms(
+    adjacency: CSFTensor,
+    x: np.ndarray,
+    w: np.ndarray,
+    session=None,
+    tuned: bool = False,
+) -> np.ndarray:
     """Execute the RGMS operator through the pipeline and NumPy runtime.
 
     Args:
@@ -84,6 +90,7 @@ def rgms(adjacency: CSFTensor, x: np.ndarray, w: np.ndarray, session=None) -> np
         x: Node features of shape ``(n, d_in)``.
         w: Per-relation weights of shape ``(R, d_in, d_out)``.
         session: Optional explicit :class:`~repro.runtime.session.Session`.
+        tuned: Accepted for API uniformity across the tunable workloads.
 
     Returns:
         The aggregated node features, shape ``(n, d_out)``.
@@ -91,7 +98,7 @@ def rgms(adjacency: CSFTensor, x: np.ndarray, w: np.ndarray, session=None) -> np
     from ..runtime.session import get_default_session
 
     session = session or get_default_session()
-    return session.rgms(adjacency, x, w)
+    return session.rgms(adjacency, x, w, tuned=tuned)
 
 
 def build_rgms_program(

@@ -55,17 +55,24 @@ def sddmm_reference(csr: CSRMatrix, x: np.ndarray, y: np.ndarray) -> np.ndarray:
 # ---------------------------------------------------------------------------
 
 def sddmm(
-    csr: CSRMatrix, x: np.ndarray, y: np.ndarray, fuse_ij: bool = True, session=None
+    csr: CSRMatrix,
+    x: np.ndarray,
+    y: np.ndarray,
+    fuse_ij: bool = True,
+    session=None,
+    tuned: bool = False,
 ) -> np.ndarray:
     """Execute the SDDMM through the compiler pipeline and NumPy runtime.
 
     Returns the new edge values in CSR order.  Repeated calls with the same
     sparsity structure hit the session's structural kernel cache.
+    ``tuned=True`` applies the autotuned loop structure recorded for this
+    structure.
     """
     from ..runtime.session import get_default_session
 
     session = session or get_default_session()
-    return session.sddmm(csr, x, y, fuse_ij=fuse_ij)
+    return session.sddmm(csr, x, y, fuse_ij=fuse_ij, tuned=tuned)
 
 
 # ---------------------------------------------------------------------------

@@ -90,6 +90,7 @@ def sparse_conv(
     features: np.ndarray,
     weights: np.ndarray,
     session=None,
+    tuned: bool = False,
 ) -> np.ndarray:
     """Execute the sparse convolution through the pipeline and NumPy runtime.
 
@@ -98,6 +99,7 @@ def sparse_conv(
         features: Input voxel features of shape ``(num_in_points, in_channels)``.
         weights: Kernel weights of shape ``(kernel_volume, in_channels, out_channels)``.
         session: Optional explicit :class:`~repro.runtime.session.Session`.
+        tuned: Accepted for API uniformity across the tunable workloads.
 
     Returns:
         Output voxel features, shape ``(num_out_points, out_channels)``.
@@ -105,7 +107,7 @@ def sparse_conv(
     from ..runtime.session import get_default_session
 
     session = session or get_default_session()
-    return session.sparse_conv(problem, features, weights)
+    return session.sparse_conv(problem, features, weights, tuned=tuned)
 
 
 def build_sparse_conv_program(

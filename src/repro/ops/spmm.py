@@ -71,6 +71,7 @@ def spmm(
     num_col_parts: int = 1,
     num_buckets: Optional[int] = None,
     session=None,
+    tuned: bool = False,
 ) -> np.ndarray:
     """Execute ``A @ X`` through the compiler pipeline and NumPy runtime.
 
@@ -78,13 +79,20 @@ def spmm(
     ``format="hyb"``), runs it on the vectorized executor (interpreter
     fallback) and returns the dense ``(rows, feat_size)`` result.  Repeated
     calls with the same sparsity structure reuse the session's cached
-    decomposition and lowered kernel.
+    decomposition and lowered kernel.  ``tuned=True`` picks up the
+    autotuned decomposition recorded for this structure (see
+    :meth:`repro.runtime.session.Session.autotune`).
     """
     from ..runtime.session import get_default_session
 
     session = session or get_default_session()
     return session.spmm(
-        csr, features, format=format, num_col_parts=num_col_parts, num_buckets=num_buckets
+        csr,
+        features,
+        format=format,
+        num_col_parts=num_col_parts,
+        num_buckets=num_buckets,
+        tuned=tuned,
     )
 
 

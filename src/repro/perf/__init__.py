@@ -12,7 +12,7 @@ Figure 12.
 """
 
 from .device import RTX3070, V100, DeviceSpec
-from .gpu_model import GPUModel, PerfReport, profile_kernel
+from .gpu_model import GPUModel, PerfReport, estimate_us, profile_kernel
 from .workload import BlockGroup, KernelWorkload
 
 __all__ = [
@@ -21,6 +21,7 @@ __all__ = [
     "RTX3070",
     "GPUModel",
     "PerfReport",
+    "estimate_us",
     "profile_kernel",
     "KernelWorkload",
     "BlockGroup",

@@ -76,6 +76,23 @@ class PerfReport:
             return float("inf")
         return other.duration_us / self.duration_us
 
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-friendly summary (used by goldens and benchmark reports)."""
+        return {
+            "name": self.name,
+            "device": self.device,
+            "duration_us": self.duration_us,
+            "compute_us": self.compute_us,
+            "memory_us": self.memory_us,
+            "launch_us": self.launch_us,
+            "total_flops": self.total_flops,
+            "total_dram_bytes": self.total_dram_bytes,
+            "num_blocks": self.num_blocks,
+            "num_launches": self.num_launches,
+            "occupancy": self.occupancy,
+            "memory_footprint_bytes": self.memory_footprint_bytes,
+        }
+
 
 class GPUModel:
     """Estimates kernel execution time on a :class:`DeviceSpec`."""
@@ -229,6 +246,16 @@ class GPUModel:
             l2_hit_rate=workload.metadata.get("l2_hit_rate"),
             metadata=dict(workload.metadata),
         )
+
+
+def estimate_us(workload: KernelWorkload, device: DeviceSpec) -> float:
+    """Shorthand for ``GPUModel(device).estimate(workload).duration_us``.
+
+    The format autoscheduler's phase-1 objective and the cost-model golden
+    tests both price candidates through this single entry point, so a model
+    change that reorders candidate rankings is caught in one place.
+    """
+    return GPUModel(device).estimate(workload).duration_us
 
 
 def _makespan(block_times: np.ndarray, slots: int) -> float:

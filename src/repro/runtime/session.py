@@ -93,6 +93,10 @@ class SessionStats:
         }
 
 
+#: Sentinel: the session's tuning-record store is resolved lazily on first use.
+_UNRESOLVED = object()
+
+
 def _pad_axis(array: np.ndarray, axis: int, length: int) -> np.ndarray:
     """Zero-pad one axis of *array* up to *length* (no-op when equal)."""
     if array.shape[axis] == length:
@@ -161,6 +165,14 @@ class Session:
     format_cache_capacity:
         LRU bound on memoised format decompositions (each entry holds a full
         decomposition of one matrix, so this bounds session memory).
+    tuning_records:
+        Persistent layer of the session's tuning records: ``None`` (default)
+        follows ``$REPRO_TUNING_RECORDS``; ``True`` uses the default
+        location (``~/.cache/repro-tuning``); ``False`` keeps records
+        in-memory only; a path or
+        :class:`~repro.tune.records.TuningRecordStore` selects an explicit
+        store.  :meth:`autotune` writes records through it and the
+        ``tuned=True`` operator flag reads them back.
     """
 
     def __init__(
@@ -169,6 +181,7 @@ class Session:
         engine: str = "auto",
         persistent: Any = None,
         format_cache_capacity: int = 64,
+        tuning_records: Any = None,
     ):
         if format_cache_capacity <= 0:
             raise ValueError("format_cache_capacity must be positive")
@@ -188,6 +201,10 @@ class Session:
         self.stats = SessionStats()
         self.format_cache_capacity = int(format_cache_capacity)
         self._formats: "OrderedDict[str, Any]" = OrderedDict()
+        self._tuning_records_arg = tuning_records
+        self._tuning_store: Any = _UNRESOLVED
+        self._tuned: Dict[str, Any] = {}
+        self._fingerprints: "OrderedDict[tuple, Any]" = OrderedDict()
 
     # -- compilation -----------------------------------------------------------
     def build(self, func: PrimFunc, horizontal_fusion: bool = True) -> Kernel:
@@ -225,6 +242,115 @@ class Session:
         else:
             self.stats.interpreted_runs += 1
         return result
+
+    # -- autotuning ------------------------------------------------------------
+    @property
+    def tuning_records(self):
+        """The resolved persistent record store (may be ``None``)."""
+        from ..tune.records import resolve_record_store
+
+        if self._tuning_store is _UNRESOLVED:
+            self._tuning_store = resolve_record_store(self._tuning_records_arg)
+        return self._tuning_store
+
+    def autotune(self, workload: str, problem: Any, **kwargs) -> Any:
+        """Search the workload's decomposition space through this session.
+
+        Delegates to :func:`repro.tune.autoscheduler.autotune` with this
+        session as the measurement runtime and its record store as the
+        persistence layer; the winning
+        :class:`~repro.tune.records.TuningRecord` is remembered in-session,
+        so subsequent operator calls with ``tuned=True`` pick the tuned
+        decomposition up automatically.
+
+        Args:
+            workload: Registered workload family (``"spmm"``, ``"sddmm"``,
+                ``"attention"``, ``"rgms"``, ``"sparse_conv"``,
+                ``"pruned_spmm"``).
+            problem: The family's problem description (e.g.
+                :class:`~repro.tune.spaces.SpMMProblem`).
+            **kwargs: Forwarded to the driver (strategy, max_trials,
+                survivors, repeats, seed, device, force, ...).
+
+        Returns:
+            The :class:`~repro.tune.tuner.TuningResult`.
+        """
+        from ..tune.autoscheduler import autotune
+
+        store = self.tuning_records
+        kwargs.setdefault("records", store if store is not None else False)
+        result = autotune(workload, problem, session=self, **kwargs)
+        if result.record is not None:
+            self._remember_tuning(result.record)
+        return result
+
+    def _remember_tuning(self, record: Any) -> None:
+        self._tuned[record.fingerprint] = record
+
+    def _task_fingerprint(self, workload: str, problem: Any) -> str:
+        """Structural task fingerprint, memoised by problem identity.
+
+        The full fingerprint hashes the problem's structural arrays (O(nnz));
+        run-many loops call ``tuned=True`` operators with the *same* problem
+        objects, so the hash is computed once per (workload, structure) and
+        served from a bounded memo afterwards.  Memo entries hold strong
+        references to the keyed objects, so an ``id()`` can never be reused
+        while its key is alive.
+        """
+        import dataclasses
+
+        parts: list = [workload]
+        refs: list = []
+        for field_ in dataclasses.fields(problem) if dataclasses.is_dataclass(problem) else []:
+            value = getattr(problem, field_.name)
+            if isinstance(value, (int, float, str, bool, type(None))):
+                parts.append(value)
+            else:
+                parts.append(id(value))
+                refs.append(value)
+        if not refs and not dataclasses.is_dataclass(problem):
+            parts.append(id(problem))
+            refs.append(problem)
+        key = tuple(parts)
+        hit = self._fingerprints.get(key)
+        if hit is not None:
+            self._fingerprints.move_to_end(key)
+            return hit[0]
+        from ..tune.spaces import get_workload, task_fingerprint
+
+        fingerprint = task_fingerprint(get_workload(workload), problem)
+        self._fingerprints[key] = (fingerprint, refs)
+        while len(self._fingerprints) > self.format_cache_capacity:
+            self._fingerprints.popitem(last=False)
+        return fingerprint
+
+    def tuning_record(self, workload: str, problem: Any):
+        """The remembered (or persisted) record for one task, or ``None``.
+
+        Disk misses are cached too: a run-many loop with no record pays the
+        store lookup once, not per call.
+        """
+        fingerprint = self._task_fingerprint(workload, problem)
+        record = self._tuned.get(fingerprint, _UNRESOLVED)
+        if record is not _UNRESOLVED:
+            return record
+        store = self.tuning_records
+        record = store.get(fingerprint) if store is not None else None
+        self._tuned[fingerprint] = record
+        return record
+
+    def _tuned_overrides(self, workload: str, problem: Any) -> Dict[str, Any]:
+        """Execution-relevant parameters of the task's tuning record.
+
+        Returns an empty dict when no record exists — callers fall back to
+        their default (untuned) parameters.
+        """
+        record = self.tuning_record(workload, problem)
+        if record is None:
+            return {}
+        from ..tune.spaces import get_workload
+
+        return get_workload(workload).exec_config(record.config)
 
     # -- format decomposition --------------------------------------------------
     def _memoized_format(self, key: str, build_entry):
@@ -277,6 +403,7 @@ class Session:
         num_col_parts: int = 1,
         num_buckets: Optional[int] = None,
         dtype: Any = None,
+        tuned: bool = False,
     ) -> np.ndarray:
         """``A @ X`` through the full compile/execute pipeline.
 
@@ -292,6 +419,10 @@ class Session:
                 ``None`` infers from the operands (float64 anywhere means a
                 float64 kernel); the dtype is part of the program structure,
                 so float32 and float64 callers never share a cached kernel.
+            tuned: Apply the autotuned decomposition recorded for this
+                structure (see :meth:`autotune`), overriding ``format`` /
+                ``num_col_parts`` / ``num_buckets``.  Without a record the
+                explicit parameters are used unchanged.
 
         Returns:
             The dense product, shape ``(rows, feat)`` in the resolved dtype.
@@ -301,6 +432,13 @@ class Session:
         value_dtype = _resolve_dtype((features, csr.data), dtype)
         features = np.asarray(features, dtype=value_dtype)
         feat_size = features.shape[1]
+        if tuned:
+            from ..tune.spaces import SpMMProblem
+
+            overrides = self._tuned_overrides("spmm", SpMMProblem(csr, feat_size))
+            format = overrides.get("format", format)
+            num_col_parts = overrides.get("num_col_parts", num_col_parts)
+            num_buckets = overrides.get("num_buckets", num_buckets)
         if format == "csr":
             func = build_spmm_program(csr, feat_size, features, dtype=value_dtype)
         elif format == "hyb":
@@ -318,6 +456,7 @@ class Session:
         y: np.ndarray,
         fuse_ij: bool = True,
         dtype: Any = None,
+        tuned: bool = False,
     ) -> np.ndarray:
         """Sampled dense-dense matmul at the non-zeros of ``csr``.
 
@@ -327,6 +466,8 @@ class Session:
             y: Dense operand of shape ``(feat, cols)``.
             fuse_ij: Iterate the (row, edge) axes as one fused loop.
             dtype: Value dtype to compute in; ``None`` infers from the operands.
+            tuned: Apply the autotuned loop structure recorded for this
+                structure (overrides ``fuse_ij`` when a record exists).
 
         Returns:
             The new edge values in CSR order, shape ``(nnz,)``.
@@ -336,6 +477,11 @@ class Session:
         value_dtype = _resolve_dtype((x, y, csr.data), dtype)
         x = np.asarray(x, dtype=value_dtype)
         y = np.asarray(y, dtype=value_dtype)
+        if tuned:
+            from ..tune.spaces import SDDMMProblem
+
+            overrides = self._tuned_overrides("sddmm", SDDMMProblem(csr, x.shape[1]))
+            fuse_ij = overrides.get("fuse_ij", fuse_ij)
         func = build_sddmm_program(csr, x.shape[1], x, y, fuse_ij=fuse_ij, dtype=value_dtype)
         out = self.run(func)
         return out["OUT"][: csr.nnz]
@@ -363,6 +509,7 @@ class Session:
         features: np.ndarray,
         format: str = "csr",
         block_size: int = 16,
+        tuned: bool = False,
     ) -> np.ndarray:
         """Multi-head SpMM ``O[h] = A @ X[h]`` with a shared sparse mask.
 
@@ -376,6 +523,8 @@ class Session:
             format: ``"csr"`` for the scalar program, ``"bsr"`` for the
                 block program over the cached BSR decomposition.
             block_size: BSR block size (``format="bsr"`` only).
+            tuned: Apply the ``attention`` tuning record for this mask and
+                shape (overrides ``format`` / ``block_size``).
 
         Returns:
             The per-head products, shape ``(heads, rows, feat)``.
@@ -388,6 +537,14 @@ class Session:
         heads, cols, feat = features.shape
         if cols != csr.cols:
             raise ValueError(f"features have {cols} rows per head, expected {csr.cols}")
+        if tuned:
+            from ..tune.spaces import AttentionProblem
+
+            overrides = self._tuned_overrides(
+                "attention", AttentionProblem(csr, heads, feat)
+            )
+            format = overrides.get("format", format)
+            block_size = overrides.get("block_size", block_size)
         if format == "csr":
             func = build_batched_spmm_program(csr, heads, feat, features)
             out = self.run(func)
@@ -409,6 +566,7 @@ class Session:
         block_size: int = 16,
         fuse_ij: bool = True,
         scale: Optional[float] = None,
+        tuned: bool = False,
     ) -> np.ndarray:
         """Multi-head SDDMM ``S[h] = (Q[h] @ K[h]) * mask`` at the mask's nnz.
 
@@ -424,6 +582,8 @@ class Session:
                 (``format="csr"`` only).
             scale: Optional score scaling (e.g. ``1/sqrt(d)``) applied by a
                 pointwise rescaling iteration inside the same kernel.
+            tuned: Apply the ``attention`` tuning record for this mask and
+                shape (overrides ``format`` / ``block_size``).
 
         Returns:
             Per-head edge scores in CSR order, shape ``(heads, nnz)``.
@@ -439,6 +599,14 @@ class Session:
         if q.ndim != 3 or k.ndim != 3:
             raise ValueError("q and k must be 3-D (heads, ., .)")
         heads, _, feat = q.shape
+        if tuned:
+            from ..tune.spaces import AttentionProblem
+
+            overrides = self._tuned_overrides(
+                "attention", AttentionProblem(csr, heads, feat)
+            )
+            format = overrides.get("format", format)
+            block_size = overrides.get("block_size", block_size)
         if format == "csr":
             func = build_batched_sddmm_program(
                 csr, heads, feat, q, k, fuse_ij=fuse_ij, scale=scale
@@ -462,7 +630,7 @@ class Session:
             return blocks[:, perm]
         raise ValueError(f"unknown batched-SDDMM format {format!r}; use 'csr' or 'bsr'")
 
-    def rgms(self, adjacency, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    def rgms(self, adjacency, x: np.ndarray, w: np.ndarray, tuned: bool = False) -> np.ndarray:
         """Relational gather-matmul-scatter over a CSF adjacency tensor.
 
         One program per adjacency structure: the relation dimension unrolls
@@ -474,6 +642,10 @@ class Session:
                 ``(R, n, n)``.
             x: Node features, shape ``(n, d_in)``.
             w: Per-relation weights, shape ``(R, d_in, d_out)``.
+            tuned: Accepted for API uniformity with the other workloads.
+                The RGMS tuning record picks between launch *strategies* in
+                the cost model; the runtime has a single fused program, so
+                no execution parameter changes.
 
         Returns:
             Aggregated features, shape ``(n, d_out)``.
@@ -488,7 +660,9 @@ class Session:
         out = self.run(func)
         return out["Y"].reshape(adjacency.shape[1], w.shape[2])
 
-    def sparse_conv(self, problem, features: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    def sparse_conv(
+        self, problem, features: np.ndarray, weights: np.ndarray, tuned: bool = False
+    ) -> np.ndarray:
         """Fused gather-GEMM-scatter sparse convolution over kernel maps.
 
         Args:
@@ -497,6 +671,9 @@ class Session:
             features: Input voxel features, ``(num_in_points, in_channels)``.
             weights: Kernel weights,
                 ``(kernel_volume, in_channels, out_channels)``.
+            tuned: Accepted for API uniformity with the other workloads; the
+                sparse-conv record picks between launch strategies in the
+                cost model, the runtime has a single fused program.
 
         Returns:
             Output voxel features, ``(num_out_points, out_channels)``.

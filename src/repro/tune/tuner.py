@@ -20,17 +20,35 @@ Objective = Callable[[Dict[str, Any]], float]
 
 @dataclass
 class TuningResult:
-    """Outcome of one tuning run."""
+    """Outcome of one tuning run.
+
+    The first four fields are shared by every search driver; the remainder
+    is filled in by the format autoscheduler
+    (:func:`~repro.tune.autoscheduler.autotune`): the workload family and
+    task fingerprint, the phase-wise best costs (``best_predicted_us`` from
+    the GPU cost model, ``best_measured_s`` from wallclock measurement
+    through the runtime), whether the result was **replayed** from a
+    persisted :class:`~repro.tune.records.TuningRecord` with zero new work,
+    and the record itself.
+    """
 
     best_config: Dict[str, Any]
     best_cost: float
     evaluated: int
     history: List[Dict[str, Any]] = field(default_factory=list)
+    workload: str = ""
+    fingerprint: str = ""
+    strategy: str = ""
+    best_predicted_us: Optional[float] = None
+    best_measured_s: Optional[float] = None
+    replayed: bool = False
+    record: Any = None
 
     def __repr__(self) -> str:
+        cost = "None" if self.best_cost is None else f"{self.best_cost:.3g}"
         return (
-            f"TuningResult(best_cost={self.best_cost:.3f}, evaluated={self.evaluated}, "
-            f"best_config={self.best_config})"
+            f"TuningResult(best_cost={cost}, evaluated={self.evaluated}, "
+            f"replayed={self.replayed}, best_config={self.best_config})"
         )
 
 
@@ -55,11 +73,20 @@ def grid_search(space: ParameterSpace, objective: Objective) -> TuningResult:
 def random_search(
     space: ParameterSpace, objective: Objective, trials: int, seed: int = 0
 ) -> TuningResult:
-    """Evaluate ``trials`` random configurations and return the best."""
+    """Evaluate up to ``trials`` *distinct* random configurations.
+
+    Sampling is without replacement (:meth:`ParameterSpace.sample`
+    deduplicates draws), so a trial budget at or beyond the space size
+    degenerates to an exhaustive grid pass: the objective is never invoked
+    twice for the same configuration and ``evaluated`` never exceeds
+    ``len(space)``.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
     best_config: Optional[Dict[str, Any]] = None
     best_cost = float("inf")
     history: List[Dict[str, Any]] = []
-    configs = space.sample(trials, seed=seed)
+    configs = space.sample(min(trials, len(space)), seed=seed)
     for config in configs:
         cost = objective(config)
         history.append({"config": dict(config), "cost": cost})

@@ -32,7 +32,8 @@ def _relative_links(path: Path):
 def test_doc_files_exist():
     for path in (REPO_ROOT / "docs" / "README.md",
                  REPO_ROOT / "docs" / "architecture.md",
-                 REPO_ROOT / "docs" / "runtime.md"):
+                 REPO_ROOT / "docs" / "runtime.md",
+                 REPO_ROOT / "docs" / "tuning.md"):
         assert path.is_file(), f"missing documentation file {path}"
 
 
@@ -61,6 +62,28 @@ def test_runtime_guide_covers_runtime_subsystems():
         "batched_spmm", "batched_sddmm", "rgms", "sparse_conv",
     ):
         assert needle in text, f"runtime.md does not mention {needle!r}"
+
+
+def test_tuning_guide_covers_autoscheduler_subsystems():
+    text = (REPO_ROOT / "docs" / "tuning.md").read_text(encoding="utf-8")
+    for needle in (
+        "Session.autotune", "tuned=True", "TuningRecord", "WorkloadSpec",
+        "ParameterSpace", "REPRO_TUNING_RECORDS", "successive_halving",
+        "evolutionary", "spmm", "sddmm", "attention", "rgms", "sparse_conv",
+        "pruned_spmm", "BENCH_tuning.json", "--regen-golden",
+    ):
+        assert needle in text, f"tuning.md does not mention {needle!r}"
+
+
+def test_tuning_guide_spaces_match_the_registry():
+    """The search-space reference table stays in sync with the code."""
+    from repro.tune import available_workloads
+
+    text = (REPO_ROOT / "docs" / "tuning.md").read_text(encoding="utf-8")
+    for workload in available_workloads():
+        assert f"`{workload}`" in text, (
+            f"tuning.md search-space reference is missing workload {workload!r}"
+        )
 
 
 def test_readme_coverage_matrix_lists_every_session_operator():

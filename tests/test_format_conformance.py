@@ -1,0 +1,155 @@
+"""Property-based conformance suite for the format zoo.
+
+Every conversion path registered in :mod:`repro.formats.conversion` must be a
+semantic no-op: ``roundtrip_dense(csr, target, **params)`` equals
+``csr.to_dense()`` exactly (same values, same shape) for *any* input —
+random sparsity, empty matrices, empty rows/columns, single elements and
+duplicate-coordinate COO sources.  This is the invariant that makes the
+paper's decomposed computations equal the original, so it is enforced with
+hypothesis across the whole zoo rather than with per-format examples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import (
+    COOMatrix,
+    CSRMatrix,
+    conversion_targets,
+    convert,
+    roundtrip_dense,
+)
+
+ALL_TARGETS = conversion_targets()
+
+#: Format parameters worth sweeping per target (beyond the defaults).
+PARAM_VARIANTS = {
+    "bsr": [{"block_size": 1}, {"block_size": 2}, {"block_size": 3}],
+    "dbsr": [{"block_size": 1}, {"block_size": 2}, {"block_size": 3}],
+    "ell": [{}, {"nnz_cols": None}],
+    "hyb": [
+        {},
+        {"num_col_parts": 2, "num_buckets": 2},
+        {"num_col_parts": 3, "num_buckets": 1},
+    ],
+    "srbcrs": [{"tile_rows": 1, "group_size": 1}, {"tile_rows": 2, "group_size": 3}],
+}
+
+
+@st.composite
+def csr_matrices(draw):
+    """Random small CSR matrices, biased toward structural edge cases."""
+    rows = draw(st.integers(min_value=1, max_value=12))
+    cols = draw(st.integers(min_value=1, max_value=12))
+    density = draw(st.sampled_from([0.0, 0.05, 0.2, 0.5, 0.9]))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((rows, cols)) < density) * rng.standard_normal((rows, cols))
+    dense = dense.astype(np.float32)
+    # Force at least one empty row/column whenever the shape allows it.
+    if rows > 1 and draw(st.booleans()):
+        dense[draw(st.integers(0, rows - 1))] = 0.0
+    if cols > 1 and draw(st.booleans()):
+        dense[:, draw(st.integers(0, cols - 1))] = 0.0
+    return CSRMatrix.from_dense(dense)
+
+
+class TestRoundTripEquivalence:
+    @pytest.mark.parametrize("target", ALL_TARGETS)
+    @given(csr=csr_matrices())
+    @settings(max_examples=25, deadline=None)
+    def test_to_dense_roundtrip(self, target, csr):
+        expected = csr.to_dense()
+        for params in PARAM_VARIANTS.get(target, [{}]):
+            produced = roundtrip_dense(csr, target, **params)
+            assert produced.shape == expected.shape
+            assert produced.dtype == expected.dtype
+            np.testing.assert_array_equal(produced, expected, err_msg=f"{target} {params}")
+
+    @pytest.mark.parametrize("target", ALL_TARGETS)
+    def test_empty_matrix(self, target):
+        csr = CSRMatrix.from_dense(np.zeros((6, 4), dtype=np.float32))
+        assert csr.nnz == 0
+        np.testing.assert_array_equal(
+            roundtrip_dense(csr, target), np.zeros((6, 4), dtype=np.float32)
+        )
+
+    @pytest.mark.parametrize("target", ALL_TARGETS)
+    def test_single_element(self, target):
+        dense = np.zeros((5, 7), dtype=np.float32)
+        dense[3, 2] = -2.5
+        np.testing.assert_array_equal(
+            roundtrip_dense(CSRMatrix.from_dense(dense), target), dense
+        )
+
+    @pytest.mark.parametrize("target", ALL_TARGETS)
+    def test_empty_rows_preserved(self, target):
+        """Rows/columns with no non-zeros survive every conversion path."""
+        dense = np.zeros((8, 6), dtype=np.float32)
+        dense[0, 0] = 1.0
+        dense[7, 5] = 2.0  # everything between is empty
+        np.testing.assert_array_equal(
+            roundtrip_dense(CSRMatrix.from_dense(dense), target), dense
+        )
+
+
+@st.composite
+def duplicate_coo(draw):
+    """COO inputs with deliberately repeated coordinates."""
+    rows = draw(st.integers(min_value=1, max_value=8))
+    cols = draw(st.integers(min_value=1, max_value=8))
+    count = draw(st.integers(min_value=0, max_value=24))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    r = rng.integers(0, rows, size=count)
+    c = rng.integers(0, cols, size=count)
+    if count >= 2:  # guarantee at least one duplicate pair
+        r[1], c[1] = r[0], c[0]
+    data = rng.standard_normal(count).astype(np.float32)
+    return (rows, cols), r, c, data
+
+
+class TestDuplicateCoordinateCOO:
+    @given(sample=duplicate_coo())
+    @settings(max_examples=40, deadline=None)
+    def test_duplicates_accumulate(self, sample):
+        """Duplicate coordinates sum — in COO's own to_dense and through CSR."""
+        shape, r, c, data = sample
+        coo = COOMatrix(shape, r, c, data)
+        expected = np.zeros(shape, dtype=np.float64)
+        np.add.at(expected, (r, c), data.astype(np.float64))
+        expected = expected.astype(np.float32)
+        np.testing.assert_allclose(coo.to_dense(), expected, atol=1e-5)
+        csr = coo.to_csr()
+        np.testing.assert_allclose(csr.to_dense(), expected, atol=1e-5)
+
+    @given(sample=duplicate_coo())
+    @settings(max_examples=15, deadline=None)
+    def test_deduplicated_csr_roundtrips_everywhere(self, sample):
+        """After CSR canonicalisation the whole zoo agrees on the values."""
+        shape, r, c, data = sample
+        csr = COOMatrix(shape, r, c, data).to_csr()
+        expected = csr.to_dense()
+        for target in ALL_TARGETS:
+            np.testing.assert_allclose(
+                roundtrip_dense(csr, target), expected, atol=1e-5, err_msg=target
+            )
+
+
+class TestRegistry:
+    def test_targets_cover_the_zoo(self):
+        assert set(ALL_TARGETS) == {
+            "coo", "csr", "csc", "ell", "dia", "bsr", "csf", "hyb", "dbsr", "srbcrs",
+        }
+
+    def test_unknown_target_rejected(self, tiny_csr):
+        with pytest.raises(ValueError, match="unknown conversion target"):
+            convert(tiny_csr, "blocked-coo")
+
+    def test_convert_returns_format_objects(self, tiny_csr):
+        bsr = convert(tiny_csr, "bsr", block_size=2)
+        assert bsr.block_size == 2
+        csf = convert(tiny_csr, "csf")
+        assert csf.shape == (1, tiny_csr.rows, tiny_csr.cols)

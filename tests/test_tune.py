@@ -1,9 +1,10 @@
 """Unit tests for the format/schedule tuner."""
 
+import numpy as np
 import pytest
 
 from repro.tune import Choice, ParameterSpace, grid_search, random_search, tune_spmm
-from repro.tune.search_space import sddmm_search_space, spmm_search_space
+from repro.tune.search_space import config_key, sddmm_search_space, spmm_search_space
 from repro.perf.device import V100
 from repro.workloads.graphs import generate_adjacency
 
@@ -33,6 +34,50 @@ class TestParameterSpace:
         assert len(spmm_search_space()) == 5 * 5 * 3
         assert len(sddmm_search_space()) == 4 * 3 * 3
 
+    def test_subspace_preserves_order_and_rejects_unknown(self):
+        space = spmm_search_space()
+        sub = space.subspace(["num_col_parts", "num_buckets"])
+        assert [c.name for c in sub.choices] == ["num_col_parts", "num_buckets"]
+        assert len(sub) == 5 * 5
+        with pytest.raises(KeyError, match="unknown parameters"):
+            space.subspace(["num_col_parts", "warp_size"])
+
+    def test_sample_with_generator_draws_single_config(self):
+        space = spmm_search_space()
+        rng = np.random.default_rng(0)
+        config = space.sample(rng)
+        assert isinstance(config, dict)
+        assert space.contains(config)
+        # Distinct draws from one generator differ eventually.
+        draws = {config_key(space.sample(rng)) for _ in range(20)}
+        assert len(draws) > 1
+
+    def test_contains(self):
+        space = ParameterSpace([Choice("a", (1, 2)), Choice("b", ("x",))])
+        assert space.contains({"a": 1, "b": "x"})
+        assert not space.contains({"a": 3, "b": "x"})     # value not a candidate
+        assert not space.contains({"a": 1})               # missing parameter
+        assert not space.contains({"a": 1, "b": "x", "c": 0})  # extra parameter
+
+    def test_mutate_changes_exactly_one_parameter(self):
+        space = ParameterSpace([Choice("a", (1, 2, 3)), Choice("b", ("x",))])
+        rng = np.random.default_rng(1)
+        config = {"a": 1, "b": "x"}
+        mutated = space.mutate(config, rng)
+        assert mutated != config
+        assert sum(mutated[k] != config[k] for k in config) == 1
+        assert space.contains(mutated)
+        # A space with no mutable parameter returns the config unchanged.
+        frozen = ParameterSpace([Choice("only", (7,))])
+        assert frozen.mutate({"only": 7}, rng) == {"only": 7}
+
+    def test_crossover_inherits_from_parents(self):
+        space = ParameterSpace([Choice("a", (1, 2)), Choice("b", (10, 20))])
+        rng = np.random.default_rng(2)
+        child = space.crossover({"a": 1, "b": 10}, {"a": 2, "b": 20}, rng)
+        assert child["a"] in (1, 2) and child["b"] in (10, 20)
+        assert space.contains(child)
+
 
 class TestSearchDrivers:
     def test_grid_search_finds_minimum(self):
@@ -48,6 +93,27 @@ class TestSearchDrivers:
         result = random_search(space, lambda c: c["x"], trials=5, seed=0)
         assert result.evaluated == 5
         assert result.best_cost == min(h["cost"] for h in result.history)
+
+    def test_random_search_trials_beyond_space_size_dedupe(self):
+        """A budget beyond the space never re-evaluates a configuration."""
+        space = ParameterSpace([Choice("x", (1, 2, 3)), Choice("y", ("a", "b"))])
+        calls = []
+        result = random_search(space, lambda c: calls.append(dict(c)) or 0.0,
+                               trials=1000, seed=0)
+        assert result.evaluated == len(space) == 6
+        assert len(calls) == 6
+        assert len({config_key(c) for c in calls}) == 6
+
+    def test_random_search_never_repeats_within_budget(self):
+        space = ParameterSpace([Choice("x", tuple(range(10)))])
+        result = random_search(space, lambda c: float(c["x"]), trials=8, seed=3)
+        seen = [config_key(h["config"]) for h in result.history]
+        assert len(seen) == len(set(seen)) == 8
+
+    def test_random_search_rejects_nonpositive_trials(self):
+        space = ParameterSpace([Choice("x", (1,))])
+        with pytest.raises(ValueError, match="trials must be positive"):
+            random_search(space, lambda c: 0.0, trials=0)
 
 
 class TestSpMMTuner:
