@@ -32,6 +32,7 @@ the vectorized tier, so emission is never a correctness risk.
 
 from __future__ import annotations
 
+import re
 from typing import Any, Dict, List, Optional, Set
 
 import numpy as np
@@ -83,7 +84,7 @@ from ..stmt import (
 
 #: Bumped whenever the emitted-source contract changes; participates in the
 #: structural fingerprint so stale on-disk source can never be executed.
-EMITTER_VERSION = 1
+EMITTER_VERSION = 3
 
 _PLAN = "plan"
 _RUN = "run"
@@ -408,7 +409,21 @@ class _Emitter:
             ufunc = "np.add.at" if residual[0] == "add" else "np.multiply.at"
             self._line(_RUN, f"{ufunc}({array}, {kept_idx}, {kept_vals})")
         else:
-            self._line(_RUN, f"{array}[{kept_idx}] = {kept_vals}")
+            target = kept_idx
+            if index.zone == _PLAN:
+                # An identity scatter (dense element-wise nests) collapses to
+                # a basic slice at plan time: the per-call store becomes a
+                # contiguous block write instead of a fancy-index scatter.
+                # Identity indices have no duplicates, so plain assignment
+                # through the slice is element-for-element identical.
+                target = self._fresh("sl")
+                self._line(
+                    _PLAN,
+                    f"{target} = slice(0, {kept_idx}.size) if {keep} is None "
+                    f"and np.array_equal({kept_idx}, np.arange({kept_idx}.size)) "
+                    f"else {kept_idx}",
+                )
+            self._line(_RUN, f"{array}[{target}] = {kept_vals}")
 
     # -- expression emission ---------------------------------------------------
     def _eval(self, expr: Expr, env: Dict[Var, _Val], n_code: str) -> _Val:
@@ -536,13 +551,28 @@ class _Emitter:
         self._line(index.zone, f"{bad} = {bad_expr}")
         self._line(index.zone, f"{anybad} = bool({bad}.any())")
         self._line(index.zone, f"{safe} = np.where({bad}, 0, {idx}) if {anybad} else {idx}")
+        gather = safe
+        if index.zone == _PLAN:
+            # An identity gather (dense element-wise nests) collapses to a
+            # basic slice at plan time: the per-call load becomes a zero-copy
+            # view instead of a fancy-index copy.  Only the unguarded path is
+            # reached when the slice applies (``anybad`` is part of the
+            # condition), and every consumer either reads the view or copies
+            # out of it before any store touches the source buffer (the
+            # vectorized safety analysis proves nests hazard-free).
+            gather = self._fresh("sl")
+            self._line(
+                _PLAN,
+                f"{gather} = slice(0, {safe}.size) if not {anybad} "
+                f"and np.array_equal({safe}, np.arange({safe}.size)) else {safe}",
+            )
         value = self._fresh("v")
         self._line(
             zone,
             f"if {anybad}:\n"
-            f"    {value} = np.where({bad}, {array}.dtype.type(0), {array}[{safe}])\n"
+            f"    {value} = np.where({bad}, {array}.dtype.type(0), {array}[{gather}])\n"
             f"else:\n"
-            f"    {value} = {array}[{safe}]",
+            f"    {value} = {array}[{gather}]",
         )
         # A load consumes the structural zero (it evaluates to 0), so the
         # invalid mask does not propagate past it.
@@ -616,8 +646,12 @@ class _Emitter:
         return self._render()
 
     def _render(self) -> str:
-        plan_text = "\n".join(self.plan)
-        run_text = "\n".join(self.run)
+        plan_blocks, aliases = _cse_plan(self.plan)
+        plan_text = "\n".join(plan_blocks)
+        run_blocks = _free_dead_temps(
+            [_apply_aliases(block, aliases) for block in self.run]
+        )
+        run_text = "\n".join(run_blocks)
         helper_lines = ["np = helpers['np']"]
         if "ragged_arange(" in plan_text:
             helper_lines.append("ragged_arange = helpers['ragged_arange']")
@@ -644,18 +678,108 @@ class _Emitter:
         for text in helper_lines:
             lines.extend(_indent(text, 1))
         lines.append("    # ---- plan: computed once from structural data ----")
-        for text in self.plan:
+        for text in plan_blocks:
             lines.extend(_indent(text, 1))
         lines.append("")
         lines.append("    def run(arrays):")
         for name in self._val_used:
             lines.append(f"        {name} = arrays[{name!r}]")
-        for text in self.run:
+        for text in run_blocks:
             lines.extend(_indent(text, 2))
         lines.append("        return arrays")
         lines.append("")
         lines.append("    return run")
         return "\n".join(lines) + "\n"
+
+
+_TEMP_NAME = re.compile(r"\b_[a-zA-Z]\w*\b")
+_TEMP_ASSIGN = re.compile(r"^\s*(_[a-zA-Z]\w*) = ", re.MULTILINE)
+
+
+def _apply_aliases(text: str, aliases: Dict[str, str]) -> str:
+    if not aliases:
+        return text
+    return _TEMP_NAME.sub(lambda m: aliases.get(m.group(0), m.group(0)), text)
+
+
+def _cse_plan(blocks: List[str]) -> tuple[List[str], Dict[str, str]]:
+    """Value-number the plan: drop repeated computations, alias their names.
+
+    Plan code is straight-line and reads only structural (auxiliary) data,
+    which nothing ever stores to, so two plan blocks whose text is identical
+    after alias substitution compute identical arrays — the second is dropped
+    and its names alias the first.  This collapses the init-pass/compute-pass
+    duplication inside every kernel and, in merged (fused) programs, shares
+    one set of lane/gather index arrays between structurally identical nests
+    (e.g. the per-relation GEMMs of an RGCN layer) exactly like the kernel
+    cache shares them between identical standalone kernels.
+    """
+    # Names assigned by more than one block (e.g. the structural-zero mask
+    # accumulation) are mutable: they may neither be aliased nor take part in
+    # a dedup key, since text identity no longer implies value identity.
+    counts: Dict[str, int] = {}
+    for block in blocks:
+        for name in dict.fromkeys(_TEMP_ASSIGN.findall(block)):
+            counts[name] = counts.get(name, 0) + 1
+    mutable = {name for name, c in counts.items() if c > 1}
+
+    aliases: Dict[str, str] = {}
+    seen: Dict[str, List[str]] = {}
+    out: List[str] = []
+    for block in blocks:
+        text = _apply_aliases(block, aliases)
+        targets = list(dict.fromkeys(_TEMP_ASSIGN.findall(text)))
+        if not targets:
+            out.append(text)
+            continue
+        names_in_block = set(_TEMP_NAME.findall(text))
+        if names_in_block & mutable:
+            out.append(text)
+            continue
+        placeholder = {name: f"\0{i}\0" for i, name in enumerate(targets)}
+        key = _TEMP_NAME.sub(lambda m: placeholder.get(m.group(0), m.group(0)), text)
+        prior = seen.get(key)
+        if prior is None:
+            seen[key] = targets
+            out.append(text)
+        else:
+            for name, canonical in zip(targets, prior):
+                if name != canonical:
+                    aliases[name] = canonical
+    return out, aliases
+
+
+def _free_dead_temps(blocks: List[str]) -> List[str]:
+    """Insert ``del`` statements after the last use of each run-zone temporary.
+
+    A merged (fused) program keeps every nest's gather/compute temporaries
+    alive as frame locals until ``run()`` returns, which defeats the
+    allocator's buffer reuse between nests — node-at-a-time execution gets
+    that reuse for free when each kernel's frame exits.  Freeing each
+    temporary right after its last use restores the reuse, so a fused
+    program's working set matches the largest single nest instead of the sum
+    of all nests.  Only names *assigned inside the run body* are freed;
+    plan-zone names are closure variables and cannot (and must not) be
+    deleted.
+    """
+    assigned: Dict[str, int] = {}
+    last_use: Dict[str, int] = {}
+    for i, block in enumerate(blocks):
+        for match in _TEMP_ASSIGN.finditer(block):
+            assigned.setdefault(match.group(1), i)
+        for match in _TEMP_NAME.finditer(block):
+            last_use[match.group(0)] = i
+    out: List[str] = []
+    for i, block in enumerate(blocks):
+        out.append(block)
+        if i == len(blocks) - 1:
+            continue
+        dead = sorted(
+            name for name, last in last_use.items() if last == i and name in assigned
+        )
+        if dead:
+            out.append("del " + ", ".join(dead))
+    return out
 
 
 def _indent(text: str, depth: int) -> List[str]:

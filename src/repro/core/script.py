@@ -175,6 +175,94 @@ class ProgramBuilder:
         )
 
 
+class EmitContext:
+    """Namespace-aware emission helper for composing operators in one program.
+
+    The graph-level fusion pass merges the stage-I iterations of several
+    operators into one :class:`PrimFunc`.  Each operator's ``emit_*`` function
+    receives an ``EmitContext`` instead of a bare builder:
+
+    * :meth:`name` prefixes every axis/buffer/iteration name with the
+      context's namespace (``ns``), so two fused SpMMs do not collide on
+      ``"I"``/``"A"``; with the default empty namespace the emitted program is
+      byte-identical to the pre-fusion standalone builders.
+    * :meth:`csr_axes` / :meth:`bsr_axes` memoise the sparse (row, column)
+      axis pair **per structure object**, so operators fused over the same
+      sparsity structure share axis objects — and stage-II lowering then
+      reads producer outputs position-directly instead of emitting a
+      coordinate binary search.
+
+    The ``ns`` attribute is mutated between nodes by the fusion assembler;
+    the shared-axis memo deliberately survives those mutations.
+    """
+
+    def __init__(self, builder: ProgramBuilder, ns: str = ""):
+        self.builder = builder
+        self.ns = ns
+        # key -> (axes tuple, structure object); the structure reference keeps
+        # the keyed object alive so its id() can never be recycled.
+        self._shared: dict = {}
+
+    def name(self, base: str) -> str:
+        return f"{self.ns}{base}"
+
+    # -- plain (per-node) axes and buffers --------------------------------------
+    def dense_fixed(self, base: str, length: int, idtype: str = "int32") -> Axis:
+        return self.builder.dense_fixed(self.name(base), length, idtype)
+
+    def buffer(
+        self,
+        base: str,
+        axes: Sequence[Axis],
+        dtype: str = "float32",
+        data: Optional[np.ndarray] = None,
+    ) -> SparseBuffer:
+        return self.builder.match_sparse_buffer(self.name(base), axes, dtype=dtype, data=data)
+
+    # -- shared sparse axes ------------------------------------------------------
+    def csr_axes(self, csr, row: str = "I", col: str = "J") -> Tuple[Axis, Axis]:
+        """The (dense row, sparse column) axis pair of a CSR structure.
+
+        Shared by structure object identity: every operator in the program
+        that iterates the same ``csr`` object gets the same axis objects.
+        """
+        key = ("csr", id(csr))
+        hit = self._shared.get(key)
+        if hit is None:
+            i_axis = self.builder.dense_fixed(self.name(row), csr.rows)
+            j_axis = self.builder.sparse_variable(
+                self.name(col), parent=i_axis, length=csr.cols, nnz=csr.nnz,
+                indptr=csr.indptr, indices=csr.indices,
+            )
+            hit = ((i_axis, j_axis), csr)
+            self._shared[key] = hit
+        return hit[0]
+
+    def bsr_axes(self, bsr, row: str = "IB", col: str = "JB") -> Tuple[Axis, Axis]:
+        """The (dense block-row, sparse block-column) axis pair of a BSR structure."""
+        key = ("bsr", id(bsr))
+        hit = self._shared.get(key)
+        if hit is None:
+            ib_axis = self.builder.dense_fixed(self.name(row), bsr.block_rows)
+            jb_axis = self.builder.sparse_variable(
+                self.name(col), parent=ib_axis, length=bsr.block_cols, nnz=bsr.num_blocks,
+                indptr=bsr.indptr, indices=bsr.indices,
+            )
+            hit = ((ib_axis, jb_axis), bsr)
+            self._shared[key] = hit
+        return hit[0]
+
+    # -- iteration pass-throughs -------------------------------------------------
+    def sp_iter(self, axes: Sequence[AxisOrGroup], kinds: str, base_name: str):
+        return self.builder.sp_iter(axes, kinds, self.name(base_name))
+
+    def compute(self, target: BufferLoad, value) -> None:
+        self.builder.compute(target, value)
+
+    def init(self, target: BufferLoad, value) -> None:
+        self.builder.init(target, value)
+
+
 class _IterationFrame:
     def __init__(self, name: str, axes: Tuple[AxisOrGroup, ...], kinds: str, iter_vars: Tuple[Var, ...]):
         self.name = name
@@ -185,4 +273,4 @@ class _IterationFrame:
         self.inits: List[BufferStore] = []
 
 
-__all__ = ["ProgramBuilder", "fuse"]
+__all__ = ["EmitContext", "ProgramBuilder", "fuse"]

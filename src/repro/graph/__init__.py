@@ -1,0 +1,29 @@
+"""Graph-level dataflow IR with cross-op fusion.
+
+Model forward passes are sequences of operator calls; this package captures
+them as a :class:`~repro.graph.ir.DataflowGraph` of operator specs
+(:class:`~repro.ops.registry.OpSpec`) connected by tensor edges, merges
+adjacent nodes that share a sparsity structure into single emitted kernels
+(:mod:`repro.graph.fusion`), and executes the result through the session's
+existing build/cache/run machinery (:class:`~repro.graph.compile.CompiledGraph`).
+
+Entry point: ``session.graph()`` returns a
+:class:`~repro.graph.builder.GraphBuilder`; its operator methods mirror the
+``Session`` ones but record lazily, and ``builder.compile()`` lowers the
+captured graph.  See ``docs/graph.md``.
+"""
+
+from .builder import GraphBuilder
+from .compile import CompiledGraph
+from .fusion import FusionGroup, plan_groups
+from .ir import DataflowGraph, GraphNode, TensorRef
+
+__all__ = [
+    "GraphBuilder",
+    "CompiledGraph",
+    "DataflowGraph",
+    "GraphNode",
+    "TensorRef",
+    "FusionGroup",
+    "plan_groups",
+]

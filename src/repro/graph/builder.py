@@ -1,0 +1,161 @@
+"""Lazy capture front-end: records operator calls as graph nodes.
+
+``session.graph()`` returns a :class:`GraphBuilder`.  Its operator methods
+take the same arguments as the eager ``Session`` ones — and resolve them
+through the same ``prepare_*`` functions, so dtype inference, tuned-override
+lookup and format decomposition happen at capture time — but instead of
+executing they append a :class:`~repro.graph.ir.GraphNode` and return a
+:class:`~repro.graph.ir.TensorRef` for chaining::
+
+    g = session.graph()
+    x = g.input("x", features)                  # feedable graph input
+    h = g.relu(g.add(g.spmm(csr, x), g.gemm(x, w)))
+    compiled = g.compile()                      # fused CompiledGraph
+    out = compiled.run()[h.name]
+
+Dense operands may be passed either as arrays (captured as constants, baked
+into the node's program) or as ``TensorRef`` edges (graph inputs or upstream
+outputs).  Structural arguments — sparse matrices, weights of ``rgms`` /
+``sparse_conv``, shapes — are always constants.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..ops import registry
+from .ir import DataflowGraph, GraphNode, TensorRef
+
+ArrayOrRef = Union[np.ndarray, TensorRef]
+
+
+class GraphBuilder:
+    """Records operator applications into a :class:`DataflowGraph`."""
+
+    def __init__(self, session: Any):
+        self.session = session
+        self._nodes: List[GraphNode] = []
+        self._inputs: Dict[str, TensorRef] = {}
+        self._defaults: Dict[str, np.ndarray] = {}
+        self._outputs: List[TensorRef] = []
+        self._finished = False
+
+    # -- inputs and outputs ------------------------------------------------------
+    def input(
+        self,
+        name: str,
+        value: Optional[np.ndarray] = None,
+        shape: Optional[Sequence[int]] = None,
+        dtype: Any = None,
+    ) -> TensorRef:
+        """Declare a feedable graph input.
+
+        Pass a concrete ``value`` (its array becomes the default feed and
+        fixes shape/dtype), or an explicit ``shape`` (+ optional ``dtype``,
+        default float32) for a pure placeholder.
+        """
+        if self._finished:
+            raise RuntimeError("graph already finished")
+        if name in self._inputs:
+            raise ValueError(f"duplicate graph input {name!r}")
+        if value is not None:
+            value = np.asarray(value)
+            ref = TensorRef(name, value.shape, str(value.dtype))
+            self._defaults[name] = value
+        elif shape is not None:
+            ref = TensorRef(name, tuple(shape), np.dtype(dtype or "float32").name)
+        else:
+            raise ValueError("input() needs a value or a shape")
+        self._inputs[name] = ref
+        return ref
+
+    def output(self, *refs: TensorRef) -> None:
+        """Mark graph outputs (defaults to every unconsumed node output)."""
+        for ref in refs:
+            if any(existing.name == ref.name for existing in self._outputs):
+                continue
+            self._outputs.append(ref)
+
+    # -- recording ---------------------------------------------------------------
+    def _record(self, kind: str, *args: Any, **kwargs: Any) -> TensorRef:
+        if self._finished:
+            raise RuntimeError("graph already finished")
+        spec = registry.prepare(self.session, kind, *args, **kwargs)
+        node = GraphNode(len(self._nodes), spec)
+        self._nodes.append(node)
+        return node.output
+
+    # -- operator methods (mirror Session) ---------------------------------------
+    def spmm(self, csr: Any, features: ArrayOrRef, **kwargs: Any) -> TensorRef:
+        """Record ``A @ X`` (see :meth:`repro.runtime.session.Session.spmm`)."""
+        return self._record("spmm", csr, features, **kwargs)
+
+    def sddmm(self, csr: Any, x: ArrayOrRef, y: ArrayOrRef, **kwargs: Any) -> TensorRef:
+        """Record an SDDMM (see :meth:`Session.sddmm`)."""
+        return self._record("sddmm", csr, x, y, **kwargs)
+
+    def pruned_spmm(self, bsr: Any, x: ArrayOrRef, **kwargs: Any) -> TensorRef:
+        """Record a block-pruned SpMM (see :meth:`Session.pruned_spmm`)."""
+        return self._record("pruned_spmm", bsr, x, **kwargs)
+
+    def batched_spmm(self, csr: Any, features: ArrayOrRef, **kwargs: Any) -> TensorRef:
+        """Record a multi-head SpMM (see :meth:`Session.batched_spmm`)."""
+        return self._record("batched_spmm", csr, features, **kwargs)
+
+    def batched_sddmm(self, csr: Any, q: ArrayOrRef, k: ArrayOrRef, **kwargs: Any) -> TensorRef:
+        """Record a multi-head SDDMM (see :meth:`Session.batched_sddmm`)."""
+        return self._record("batched_sddmm", csr, q, k, **kwargs)
+
+    def rgms(self, adjacency: Any, x: ArrayOrRef, w: np.ndarray, **kwargs: Any) -> TensorRef:
+        """Record a relational gather-matmul-scatter (see :meth:`Session.rgms`)."""
+        return self._record("rgms", adjacency, x, w, **kwargs)
+
+    def sparse_conv(self, problem: Any, features: ArrayOrRef, weights: np.ndarray,
+                    **kwargs: Any) -> TensorRef:
+        """Record a sparse convolution (see :meth:`Session.sparse_conv`)."""
+        return self._record("sparse_conv", problem, features, weights, **kwargs)
+
+    def edge_softmax(self, csr: Any, scores: ArrayOrRef, **kwargs: Any) -> TensorRef:
+        """Record a row-wise edge softmax (see :meth:`Session.edge_softmax`)."""
+        return self._record("edge_softmax", csr, scores, **kwargs)
+
+    def batched_spmm_edges(self, csr: Any, edge_values: ArrayOrRef,
+                           features: ArrayOrRef, **kwargs: Any) -> TensorRef:
+        """Record an SpMM with per-head edge values (attention consumer)."""
+        return self._record("batched_spmm_edges", csr, edge_values, features, **kwargs)
+
+    def gemm(self, a: ArrayOrRef, b: ArrayOrRef, **kwargs: Any) -> TensorRef:
+        """Record a dense matmul."""
+        return self._record("gemm", a, b, **kwargs)
+
+    def add(self, a: ArrayOrRef, b: ArrayOrRef, **kwargs: Any) -> TensorRef:
+        """Record an element-wise add."""
+        return self._record("add", a, b, **kwargs)
+
+    def relu(self, a: ArrayOrRef, **kwargs: Any) -> TensorRef:
+        """Record an element-wise ReLU."""
+        return self._record("relu", a, **kwargs)
+
+    # -- finishing ---------------------------------------------------------------
+    def graph(self) -> DataflowGraph:
+        """Close the capture and return the :class:`DataflowGraph`."""
+        self._finished = True
+        outputs = list(self._outputs)
+        if not outputs:
+            consumed = {
+                ref.name
+                for node in self._nodes
+                for ref in node.input_refs().values()
+            }
+            outputs = [
+                node.output for node in self._nodes if node.output.name not in consumed
+            ]
+        return DataflowGraph(self._nodes, self._inputs, outputs, self._defaults)
+
+    def compile(self, fuse: bool = True) -> "CompiledGraph":
+        """Close the capture and lower it to an executable graph."""
+        from .compile import CompiledGraph
+
+        return CompiledGraph(self.session, self.graph(), fuse=fuse)

@@ -1,0 +1,337 @@
+"""Lowering a captured graph into executable kernels.
+
+Each :class:`~repro.graph.fusion.FusionGroup` becomes one prebuilt kernel:
+
+* **singleton groups** build the node's *standalone* program (empty
+  namespace), byte-identical to what the eager ``Session`` method builds, so
+  they share kernel-cache entries — and persistent warm starts — with eager
+  execution;
+* **multi-node groups** emit every member's stage-I iterations into one
+  program (namespaced ``n<id>_`` per node, sparse axes shared per structure
+  object), bind in-group producer outputs directly as buffers, and leave
+  cross-group/edge inputs as unbound buffers that are fed at run time.  The
+  backend's horizontal-fusion pass launches the merged program as a single
+  kernel.
+
+If emitting a merged program fails, or the emitted tier declines it (no
+stage-IV source), the group falls back to node-by-node singleton kernels —
+bit-exact by construction, since fusion never alters any nest's computation
+or order.
+
+At run time the executor walks the units in order, feeds each kernel the
+values its ``bindmap`` names, finalises outputs that later units (or the
+caller) still need, and drops intermediates as soon as liveness allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.buffers import _np_dtype
+from ..core.script import EmitContext, ProgramBuilder
+from ..core.stmt import (
+    AssertStmt,
+    Block,
+    BufferStore,
+    ForLoop,
+    IfThenElse,
+    LetStmt,
+    SeqStmt,
+)
+from ..ops import registry
+from .fusion import FusionGroup, plan_groups
+from .ir import DataflowGraph, GraphNode
+
+
+def _store_targets(stmt: Any) -> set:
+    """Names of every buffer a stage-III statement tree stores to."""
+    out: set = set()
+    stack = [stmt]
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        if isinstance(node, BufferStore):
+            out.add(node.buffer.name)
+        elif isinstance(node, SeqStmt):
+            stack.extend(node.stmts)
+        elif isinstance(node, (ForLoop, LetStmt, AssertStmt)):
+            stack.append(node.body)
+        elif isinstance(node, IfThenElse):
+            stack.append(node.then_case)
+            stack.append(node.else_case)
+        elif isinstance(node, Block):
+            stack.append(node.body)
+            stack.append(node.init)
+    return out
+
+
+@dataclass
+class _FusedState:
+    """Persistent flat buffers of one fused unit, allocated once.
+
+    A fused kernel's intermediates are internal to the merged program — no
+    later kernel ever observes them — so the unit owns its flat arrays for
+    the lifetime of the :class:`CompiledGraph` instead of re-materialising
+    them on every call the way the generic per-kernel path must.  Per call
+    only three refreshes run: graph inputs are copied in (``copy_in``),
+    store-target scratch buffers are re-zeroed (``zero_fill``), and
+    store-target constants are restored from their pristine copy
+    (``refresh``).  Escaping outputs are copied out before finalisation, so
+    arrays returned to the caller never alias the reused storage.  Reusing
+    buffers makes a single CompiledGraph non-reentrant; compile one graph
+    per thread for concurrent execution.
+    """
+
+    runner: Any
+    arrays: Dict[str, np.ndarray]
+    #: (destination, graph value name, expected flat size) per bound input.
+    copy_in: List[Tuple[np.ndarray, str, int]]
+    zero_fill: List[np.ndarray]
+    #: (destination, pristine copy) per stored-to constant buffer.
+    refresh: List[Tuple[np.ndarray, np.ndarray]]
+
+
+@dataclass
+class _ExecUnit:
+    """One prebuilt kernel plus its run-time wiring."""
+
+    kernel: Any
+    #: buffer name in the program -> value name to feed it from.
+    bindmap: Dict[str, str]
+    #: (value name, output buffer name, producing spec) per member node.
+    produced: List[Tuple[str, str, Any]]
+    node_ids: List[int]
+    #: index of the unit's last node in the graph order (liveness horizon).
+    max_node_index: int = 0
+    fused: bool = False
+
+
+class CompiledGraph:
+    """An executable lowering of a :class:`DataflowGraph`."""
+
+    def __init__(self, session: Any, graph: DataflowGraph, fuse: bool = True):
+        self.session = session
+        self.graph = graph
+        self.fuse = fuse
+        self._fingerprint: Optional[str] = None
+        self.units: List[_ExecUnit] = []
+        #: lazily built per-unit buffer reuse state (False marks unavailable).
+        self._states: Dict[int, Any] = {}
+        index_of = {node.id: i for i, node in enumerate(graph.nodes)}
+        for group in plan_groups(graph, fuse=fuse):
+            unit = None
+            if len(group) > 1:
+                unit = self._build_fused(group)
+            if unit is None:
+                for node in group.nodes:
+                    self.units.append(self._build_single(node, index_of))
+            else:
+                self.units.append(unit)
+        for unit in self.units:
+            if unit.fused:
+                session.stats.graph_nodes_fused += len(unit.node_ids)
+            else:
+                session.stats.graph_nodes_unfused += len(unit.node_ids)
+
+    # -- lowering ----------------------------------------------------------------
+    def _build_single(self, node: GraphNode, index_of: Dict[int, int]) -> _ExecUnit:
+        func, names = registry.build_spec_program(node.spec)
+        bindmap = {
+            names[logical]: ref.name for logical, ref in node.input_refs().items()
+        }
+        kernel = self.session.build(func)
+        return _ExecUnit(
+            kernel=kernel,
+            bindmap=bindmap,
+            produced=[(node.output.name, names["out"], node.spec)],
+            node_ids=[node.id],
+            max_node_index=index_of[node.id],
+            fused=False,
+        )
+
+    def _build_fused(self, group: FusionGroup) -> Optional[_ExecUnit]:
+        """One merged kernel for a multi-node group, or ``None`` to fall back."""
+        name = "fused_" + "_".join(node.spec.kind for node in group.nodes)
+        try:
+            ctx = EmitContext(ProgramBuilder(name))
+            buffers: Dict[str, Any] = {}  # value name -> in-program buffer
+            bindmap: Dict[str, str] = {}
+            produced: List[Tuple[str, str, Any]] = []
+            for node in group.nodes:
+                ctx.ns = f"n{node.id}_"
+                bind: Dict[str, Any] = {}
+                external: List[Tuple[str, Any]] = []
+                for logical, ref in node.input_refs().items():
+                    if ref.name in buffers:
+                        bind[logical] = buffers[ref.name]
+                    else:
+                        external.append((logical, ref))
+                result = registry.emit_spec(ctx, node.spec, bind)
+                for logical, ref in external:
+                    bindmap[result[logical].name] = ref.name
+                    # Later members consuming the same external value bind
+                    # this buffer instead of declaring a namespaced duplicate
+                    # (one flat copy per call instead of one per consumer).
+                    buffers[ref.name] = result[logical]
+                buffers[node.output.name] = result["out"]
+                produced.append((node.output.name, result["out"].name, node.spec))
+            func = ctx.builder.finish()
+            kernel = self.session.build(func)
+        except Exception:
+            return None
+        if kernel.emitted_source() is None:
+            # The merged program fell outside the emitted tier's fragment;
+            # running it interpreted would be slower than unfused emitted
+            # kernels, so decline the fusion entirely.
+            return None
+        index_of = {node.id: i for i, node in enumerate(self.graph.nodes)}
+        return _ExecUnit(
+            kernel=kernel,
+            bindmap=bindmap,
+            produced=produced,
+            node_ids=[node.id for node in group.nodes],
+            max_node_index=max(index_of[node.id] for node in group.nodes),
+            fused=True,
+        )
+
+    # -- execution ---------------------------------------------------------------
+    def _fused_state(self, index: int, unit: _ExecUnit) -> Any:
+        """Build (or recall) the buffer-reuse state of a fused unit.
+
+        Returns ``False`` when the unit cannot take the reuse path (no
+        compiled stage-IV runner); the caller then uses the generic
+        per-kernel path, which re-materialises buffers every call.
+        """
+        state = self._states.get(index)
+        if state is not None:
+            return state
+        kernel = unit.kernel
+        runner = kernel._emitted_runner()
+        if runner is None:
+            self._states[index] = False
+            return False
+        func = kernel.func
+        aux = {buf.name for buf in func.aux_buffers}
+        stored = _store_targets(func.body)
+        backing = {buf.name: buf.data for buf in func.buffers if buf.data is not None}
+        arrays: Dict[str, np.ndarray] = {}
+        copy_in: List[Tuple[np.ndarray, str, int]] = []
+        zero_fill: List[np.ndarray] = []
+        refresh: List[Tuple[np.ndarray, np.ndarray]] = []
+        for flat in func.flat_buffers:
+            name = flat.name
+            if name in aux:
+                continue  # baked into the emitted plan; run() never reads them
+            dtype = _np_dtype(flat.dtype)
+            if name in unit.bindmap:
+                arr = np.empty(flat.size, dtype=dtype)
+                arrays[name] = arr
+                copy_in.append((arr, unit.bindmap[name], flat.size))
+                continue
+            data = kernel.defaults.get(name)
+            if data is None:
+                data = backing.get(name)
+            if data is not None:
+                pristine = np.asarray(data, dtype=dtype).reshape(-1).copy()
+                if name in stored:
+                    arrays[name] = pristine.copy()
+                    refresh.append((arrays[name], pristine))
+                else:
+                    arrays[name] = pristine
+            else:
+                arr = np.zeros(flat.size, dtype=dtype)
+                arrays[name] = arr
+                if name in stored:
+                    zero_fill.append(arr)
+        state = _FusedState(runner, arrays, copy_in, zero_fill, refresh)
+        self._states[index] = state
+        return state
+
+    def _run_fused(self, state: _FusedState, env: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """One call of a fused unit over its persistent buffers."""
+        for arr, value_name, size in state.copy_in:
+            if value_name not in env:
+                raise ValueError(f"missing feed for graph input {value_name!r}")
+            src = np.asarray(env[value_name], dtype=arr.dtype).reshape(-1)
+            if src.size != size:
+                raise ValueError(
+                    f"feed for {value_name!r} has {src.size} elements, expected {size}"
+                )
+            np.copyto(arr, src)
+        for arr in state.zero_fill:
+            arr.fill(0)
+        for dst, pristine in state.refresh:
+            np.copyto(dst, pristine)
+        out = state.runner(state.arrays)
+        self.session.stats.emitted_runs += 1
+        return out
+
+    def run(self, feeds: Optional[Mapping[str, np.ndarray]] = None) -> Dict[str, np.ndarray]:
+        """Execute the graph; returns output arrays keyed by value name.
+
+        ``feeds`` overrides (or provides) graph inputs by name; inputs
+        captured from concrete arrays fall back to those defaults.
+        """
+        env: Dict[str, np.ndarray] = dict(self.graph.defaults)
+        if feeds:
+            for name, value in feeds.items():
+                if name not in self.graph.inputs:
+                    raise ValueError(f"unknown graph input {name!r}")
+                env[name] = np.asarray(value)
+        live = self.graph.liveness()
+        horizon = len(self.graph.nodes)
+        output_names = [ref.name for ref in self.graph.outputs]
+        reuse_ok = self.session.engine in ("auto", "emitted")
+        for index, unit in enumerate(self.units):
+            state = self._fused_state(index, unit) if unit.fused and reuse_ok else False
+            if state is not False:
+                out = self._run_fused(state, env)
+            else:
+                bindings: Dict[str, np.ndarray] = {}
+                for buffer_name, value_name in unit.bindmap.items():
+                    if value_name not in env:
+                        raise ValueError(f"missing feed for graph input {value_name!r}")
+                    bindings[buffer_name] = env[value_name]
+                out = self.session.run_kernel(unit.kernel, bindings)
+            for value_name, buffer_name, spec in unit.produced:
+                if live.get(value_name, -1) > unit.max_node_index:
+                    flat = out[buffer_name]
+                    if state is not False:
+                        # Escaping arrays must not alias the reused storage.
+                        flat = flat.copy()
+                    env[value_name] = registry.finalize(spec, flat)
+            # Drop intermediates whose last consumer has now run.
+            for name in list(env):
+                if live.get(name, horizon + 1) <= unit.max_node_index:
+                    del env[name]
+        return {name: env[name] for name in output_names}
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def num_kernel_launches(self) -> int:
+        """Total kernel launches per run (1 per horizontally-fused kernel)."""
+        return sum(unit.kernel.num_launches for unit in self.units)
+
+    @property
+    def num_nodes_fused(self) -> int:
+        return sum(len(unit.node_ids) for unit in self.units if unit.fused)
+
+    @property
+    def num_nodes_unfused(self) -> int:
+        return sum(len(unit.node_ids) for unit in self.units if not unit.fused)
+
+    def fingerprint(self) -> str:
+        """The graph's composed structural fingerprint (memoised)."""
+        if self._fingerprint is None:
+            self._fingerprint = self.graph.fingerprint()
+        return self._fingerprint
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledGraph({len(self.graph.nodes)} nodes -> {len(self.units)} kernels, "
+            f"launches={self.num_kernel_launches})"
+        )

@@ -1,0 +1,143 @@
+"""The dataflow IR: tensor references, graph nodes, and the graph itself.
+
+A captured graph is intentionally small: nodes are fully-resolved
+:class:`~repro.ops.registry.OpSpec` structs (the same structs the eager
+``Session`` methods execute), and edges are :class:`TensorRef` objects stored
+*inside* each spec's ``inputs`` mapping.  Capture order is a topological
+order by construction — an operator can only consume references that already
+exist — so scheduling is trivial and the interesting analyses are liveness
+(when intermediate values can be dropped) and fingerprinting (a stable
+content hash composing the per-node kernel-cache fingerprints, used for
+graph-level tuned-config lookup).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..ops.registry import OpSpec
+
+
+class TensorRef:
+    """A symbolic tensor flowing along a graph edge.
+
+    ``is_ref`` is the marker the operator registry uses to distinguish edges
+    from eager arrays; ``shape``/``dtype`` let ``prepare_*`` validate and
+    resolve dtypes during capture without touching any data.
+    """
+
+    is_ref = True
+
+    def __init__(self, name: str, shape: Tuple[int, ...], dtype: str,
+                 node: Optional["GraphNode"] = None):
+        self.name = name
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = str(dtype)
+        self.node = node  # producing node; None for graph inputs
+
+    def __repr__(self) -> str:
+        kind = "input" if self.node is None else f"node {self.node.id}"
+        return f"TensorRef({self.name!r}, shape={self.shape}, dtype={self.dtype!r}, {kind})"
+
+
+class GraphNode:
+    """One operator application: a spec plus its output reference."""
+
+    def __init__(self, node_id: int, spec: OpSpec):
+        self.id = node_id
+        self.spec = spec
+        self.output = TensorRef(f"v{node_id}", spec.out_shape, spec.dtype, node=self)
+
+    def input_refs(self) -> Dict[str, TensorRef]:
+        """The node's edge inputs by logical name (constants excluded)."""
+        return {
+            name: value
+            for name, value in self.spec.inputs.items()
+            if isinstance(value, TensorRef)
+        }
+
+    def __repr__(self) -> str:
+        return f"GraphNode({self.id}, {self.spec.kind!r} -> {self.output.name})"
+
+
+class DataflowGraph:
+    """An ordered DAG of operator nodes with named inputs and outputs."""
+
+    def __init__(
+        self,
+        nodes: List[GraphNode],
+        inputs: Dict[str, TensorRef],
+        outputs: List[TensorRef],
+        defaults: Optional[Dict[str, np.ndarray]] = None,
+    ):
+        self.nodes = list(nodes)
+        self.inputs = dict(inputs)
+        self.outputs = list(outputs)
+        #: Default feed arrays for inputs captured from concrete tensors.
+        self.defaults = dict(defaults or {})
+        self._validate()
+
+    def _validate(self) -> None:
+        known = set(self.inputs)
+        for node in self.nodes:
+            for ref in node.input_refs().values():
+                if ref.name not in known:
+                    raise ValueError(
+                        f"node {node.id} ({node.spec.kind}) consumes {ref.name!r} "
+                        "before it is defined — capture order must be topological"
+                    )
+            known.add(node.output.name)
+        for ref in self.outputs:
+            if ref.name not in known:
+                raise ValueError(f"unknown graph output {ref.name!r}")
+
+    def topo_order(self) -> List[GraphNode]:
+        """Nodes in execution order (capture order, validated topological)."""
+        return list(self.nodes)
+
+    def liveness(self) -> Dict[str, int]:
+        """Value name -> index of the last node that consumes it.
+
+        Graph outputs are pinned to ``len(nodes)`` (live past the last node).
+        The executor drops an intermediate as soon as its index passes.
+        """
+        last: Dict[str, int] = {}
+        for index, node in enumerate(self.nodes):
+            for ref in node.input_refs().values():
+                last[ref.name] = index
+        for ref in self.outputs:
+            last[ref.name] = len(self.nodes)
+        return last
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the whole graph.
+
+        Composes the *kernel-cache* structural fingerprint of every node's
+        standalone program (structure arrays, dtypes, iteration shape — see
+        :func:`repro.core.codegen.cache.structural_fingerprint`) with the
+        edge topology and output selection, so two captures of the same
+        model over the same sparsity structures hash identically while any
+        structural change — a different mask, dtype, feature width or wiring
+        — changes the hash.  Graph-level tuning records key on this.
+        """
+        from ..core.codegen.cache import structural_fingerprint
+        from ..ops.registry import build_spec_program
+        from ..runtime.keys import content_key
+
+        parts: List[Any] = ["dataflow-graph:v1"]
+        for node in self.nodes:
+            func, _ = build_spec_program(node.spec)
+            parts.append(structural_fingerprint(func))
+            for name, ref in sorted(node.input_refs().items()):
+                parts.append(f"{node.id}.{name}<-{ref.name}")
+        parts.extend(f"out:{ref.name}" for ref in self.outputs)
+        parts.extend(f"in:{name}" for name in sorted(self.inputs))
+        return content_key(*parts)
+
+    def __repr__(self) -> str:
+        return (
+            f"DataflowGraph({len(self.nodes)} nodes, "
+            f"{len(self.inputs)} inputs, {len(self.outputs)} outputs)"
+        )

@@ -21,7 +21,13 @@ from ..formats.hyb import HybFormat
 from ..ops.spmm import spmm_hyb_workload, spmm_reference
 from ..perf.device import DeviceSpec
 from ..perf.gpu_model import GPUModel
-from .shared import gemm_workload_for_model, relu, relu_grad, softmax_cross_entropy
+from .shared import (
+    CompiledForward,
+    gemm_workload_for_model,
+    relu,
+    relu_grad,
+    softmax_cross_entropy,
+)
 
 
 @dataclass
@@ -85,6 +91,25 @@ class GraphSAGE:
             "h_neigh_2": h_neigh_2,
         }
         return logits
+
+    def compile(self, session, features: np.ndarray, fuse: bool = True) -> CompiledForward:
+        """Capture the forward pass as a dataflow graph and lower it.
+
+        The captured graph runs both aggregations, all four dense transforms
+        and the activation through the session's compiled kernels; with
+        ``fuse=True`` adjacent nodes merge into single launches (see
+        :mod:`repro.graph`).  The returned wrapper is compile-once/run-many:
+        call it with new ``features`` of the same shape to rerun.
+        """
+        p = self.params
+        g = session.graph()
+        x = g.input("features", np.asarray(features, dtype=np.float32))
+        h_neigh_1 = g.spmm(self.adjacency, x)
+        h1 = g.relu(g.add(g.gemm(x, p.w_self_1), g.gemm(h_neigh_1, p.w_neigh_1)))
+        h_neigh_2 = g.spmm(self.adjacency, h1)
+        logits = g.add(g.gemm(h1, p.w_self_2), g.gemm(h_neigh_2, p.w_neigh_2))
+        g.output(logits)
+        return CompiledForward(g.compile(fuse=fuse), "features", logits.name)
 
     # -- loss + backward -----------------------------------------------------------
     def training_step(

@@ -29,7 +29,7 @@ from ..ops.rgms import (
 from ..perf.device import DeviceSpec
 from ..perf.gpu_model import GPUModel
 from ..perf.workload import KernelWorkload
-from .shared import relu
+from .shared import CompiledForward, relu
 
 
 @dataclass
@@ -90,6 +90,39 @@ class RGCN:
         """Full forward pass; ``session`` selects the compiled RGMS path."""
         hidden = self.layer1.forward(features, activation=True, session=session)
         return self.layer2.forward(hidden, activation=False, session=session)
+
+    def compile(self, session, features: np.ndarray, fuse: bool = True) -> CompiledForward:
+        """Capture both layers as one dataflow graph and lower it.
+
+        Each layer is captured as a *per-relation RGMS chain*: every active
+        adjacency slice records its own single-relation gather-matmul-scatter
+        node, chained by accumulating adds, plus the self-loop transform and
+        (first layer) activation.  Unfused that is one kernel launch per node
+        — the relation-by-relation dispatch a framework performs; with
+        ``fuse=True`` the whole two-layer chain merges into a single emitted
+        kernel.  The wrapper reruns on new ``features`` of the same shape.
+        """
+        g = session.graph()
+        x = g.input("features", np.asarray(features, dtype=np.float32))
+        out = x
+        for layer, activation in ((self.layer1, True), (self.layer2, False)):
+            weights = layer.params.relation_weights
+            _, rows, cols = layer.adjacency.shape
+            aggregated = None
+            for rel, matrix in enumerate(layer.adjacency.slices):
+                if matrix is None or matrix.nnz == 0:
+                    continue
+                relation = CSFTensor((1, rows, cols), [matrix])
+                gathered = g.rgms(relation, out, weights[rel : rel + 1])
+                aggregated = (
+                    gathered if aggregated is None else g.add(aggregated, gathered)
+                )
+            self_loop = g.gemm(out, layer.params.self_weight)
+            out = self_loop if aggregated is None else g.add(aggregated, self_loop)
+            if activation:
+                out = g.relu(out)
+        g.output(out)
+        return CompiledForward(g.compile(fuse=fuse), "features", out.name)
 
 
 # ---------------------------------------------------------------------------

@@ -2,13 +2,40 @@
 
 from __future__ import annotations
 
-from typing import Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
 from ..baselines.cublas import gemm_workload
 from ..perf.device import DeviceSpec
 from ..perf.workload import KernelWorkload
+
+if TYPE_CHECKING:
+    from ..graph import CompiledGraph
+
+
+@dataclass
+class CompiledForward:
+    """A model forward pass lowered to a :class:`~repro.graph.CompiledGraph`.
+
+    Calling the wrapper runs the compiled graph — fused kernels, cached
+    builds — and returns the single model output as an array.  ``features``
+    overrides the graph input captured at compile time; omit it to rerun on
+    the captured default.
+    """
+
+    compiled: "CompiledGraph"
+    input_name: str
+    output_name: str
+
+    def __call__(self, features: Optional[np.ndarray] = None) -> np.ndarray:
+        feeds = {} if features is None else {self.input_name: features}
+        return self.compiled.run(feeds)[self.output_name]
+
+    @property
+    def num_kernel_launches(self) -> int:
+        return self.compiled.num_kernel_launches
 
 
 def relu(x: np.ndarray) -> np.ndarray:

@@ -17,19 +17,21 @@ lanes by the vectorized executor), and :func:`batched_spmm` /
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
+from ..core.buffers import SparseBuffer
+from ..core.expr import Call
 from ..core.program import PrimFunc
-from ..core.script import ProgramBuilder
+from ..core.script import EmitContext, ProgramBuilder
 from ..core.sparse_iteration import fuse
 from ..formats.bsr import BSRMatrix
 from ..formats.csr import CSRMatrix
 from ..perf.device import DeviceSpec
 from ..perf.tensor_core import MMA_SHAPES
 from ..perf.workload import BlockGroup, KernelWorkload
-from .common import INDEX_BYTES, ceil_div, value_bytes
+from .common import INDEX_BYTES, ceil_div, keyword_session, value_bytes
 from .sddmm import sddmm_reference
 from .spmm import spmm_reference
 
@@ -59,11 +61,13 @@ def batched_sddmm_reference(csr: CSRMatrix, q: np.ndarray, k: np.ndarray) -> np.
 # Executable operators (compile-once/run-many Session path)
 # ---------------------------------------------------------------------------
 
+@keyword_session
 def batched_spmm(
     csr: CSRMatrix,
     features: np.ndarray,
     format: str = "csr",
     block_size: int = 16,
+    *,
     session=None,
     tuned: bool = False,
 ) -> np.ndarray:
@@ -88,6 +92,7 @@ def batched_spmm(
     )
 
 
+@keyword_session
 def batched_sddmm(
     csr: CSRMatrix,
     q: np.ndarray,
@@ -95,6 +100,7 @@ def batched_sddmm(
     format: str = "csr",
     block_size: int = 16,
     scale: Optional[float] = None,
+    *,
     session=None,
     tuned: bool = False,
 ) -> np.ndarray:
@@ -139,24 +145,38 @@ def build_batched_spmm_program(
     sparsity structure (and the edge-value buffer ``A``) is shared by all
     heads, matching the attention masks of Section 4.3.1.
     """
-    builder = ProgramBuilder("batched_spmm")
-    h_axis = builder.dense_fixed("H", num_heads)
-    i_axis = builder.dense_fixed("I", csr.rows)
-    j_axis = builder.sparse_variable(
-        "J", parent=i_axis, length=csr.cols, nnz=csr.nnz, indptr=csr.indptr, indices=csr.indices
-    )
-    j_dense = builder.dense_fixed("J_", csr.cols)
-    k_axis = builder.dense_fixed("K", feat_size)
-    a_buf = builder.match_sparse_buffer("A", [i_axis, j_axis], data=csr.data)
-    b_buf = builder.match_sparse_buffer(
-        "B", [h_axis, j_dense, k_axis],
-        data=None if features is None else np.asarray(features, dtype=np.float32).reshape(-1),
-    )
-    c_buf = builder.match_sparse_buffer("C", [h_axis, i_axis, k_axis])
-    with builder.sp_iter([h_axis, i_axis, j_axis, k_axis], "SSRS", "batched_spmm") as (h, i, j, k):
-        builder.init(c_buf[h, i, k], 0.0)
-        builder.compute(c_buf[h, i, k], c_buf[h, i, k] + a_buf[i, j] * b_buf[h, j, k])
-    return builder.finish()
+    ctx = EmitContext(ProgramBuilder("batched_spmm"))
+    emit_batched_spmm(ctx, csr, num_heads, feat_size, features)
+    return ctx.builder.finish()
+
+
+def emit_batched_spmm(
+    ctx: EmitContext,
+    csr: CSRMatrix,
+    num_heads: int,
+    feat_size: int,
+    features: Optional[np.ndarray] = None,
+    bind: Optional[Dict[str, SparseBuffer]] = None,
+) -> Dict[str, SparseBuffer]:
+    """Append the multi-head SpMM iteration; ``bind`` may supply ``features``."""
+    bind = bind or {}
+    h_axis = ctx.dense_fixed("H", num_heads)
+    i_axis, j_axis = ctx.csr_axes(csr)
+    b_buf = bind.get("features")
+    if b_buf is None:
+        j_dense = ctx.dense_fixed("J_", csr.cols)
+    k_axis = ctx.dense_fixed("K", feat_size)
+    a_buf = ctx.buffer("A", [i_axis, j_axis], data=csr.data)
+    if b_buf is None:
+        b_buf = ctx.buffer(
+            "B", [h_axis, j_dense, k_axis],
+            data=None if features is None else np.asarray(features, dtype=np.float32).reshape(-1),
+        )
+    c_buf = ctx.buffer("C", [h_axis, i_axis, k_axis])
+    with ctx.sp_iter([h_axis, i_axis, j_axis, k_axis], "SSRS", "batched_spmm") as (h, i, j, k):
+        ctx.init(c_buf[h, i, k], 0.0)
+        ctx.compute(c_buf[h, i, k], c_buf[h, i, k] + a_buf[i, j] * b_buf[h, j, k])
+    return {"out": c_buf, "features": b_buf}
 
 
 def build_batched_spmm_bsr_program(
@@ -219,40 +239,60 @@ def build_batched_sddmm_program(
     rescales every stored score (the ``1/sqrt(d)`` step of attention), which
     the vectorized executor runs as an in-place ``multiply.at`` reduction.
     """
-    builder = ProgramBuilder("batched_sddmm")
-    h_axis = builder.dense_fixed("H", num_heads)
-    i_axis = builder.dense_fixed("I", csr.rows)
-    j_axis = builder.sparse_variable(
-        "J", parent=i_axis, length=csr.cols, nnz=csr.nnz, indptr=csr.indptr, indices=csr.indices
-    )
-    i_dense = builder.dense_fixed("I_", csr.rows)
-    j_dense = builder.dense_fixed("J_", csr.cols)
-    k_axis = builder.dense_fixed("K", feat_size)
-    a_buf = builder.match_sparse_buffer("A", [i_axis, j_axis], data=csr.data)
-    out_buf = builder.match_sparse_buffer("OUT", [h_axis, i_axis, j_axis])
-    q_buf = builder.match_sparse_buffer(
-        "Q", [h_axis, i_dense, k_axis],
-        data=None if q is None else np.asarray(q, dtype=np.float32).reshape(-1),
-    )
-    k_buf = builder.match_sparse_buffer(
-        "Kv", [h_axis, k_axis, j_dense],
-        data=None if k is None else np.asarray(k, dtype=np.float32).reshape(-1),
-    )
+    ctx = EmitContext(ProgramBuilder("batched_sddmm"))
+    emit_batched_sddmm(ctx, csr, num_heads, feat_size, q, k, fuse_ij=fuse_ij, scale=scale)
+    return ctx.builder.finish()
+
+
+def emit_batched_sddmm(
+    ctx: EmitContext,
+    csr: CSRMatrix,
+    num_heads: int,
+    feat_size: int,
+    q: Optional[np.ndarray] = None,
+    k: Optional[np.ndarray] = None,
+    fuse_ij: bool = True,
+    scale: Optional[float] = None,
+    bind: Optional[Dict[str, SparseBuffer]] = None,
+) -> Dict[str, SparseBuffer]:
+    """Append the batched SDDMM iterations; ``bind`` may supply ``q``/``k``."""
+    bind = bind or {}
+    h_axis = ctx.dense_fixed("H", num_heads)
+    i_axis, j_axis = ctx.csr_axes(csr)
+    q_buf = bind.get("q")
+    k_buf = bind.get("k")
+    if q_buf is None:
+        i_dense = ctx.dense_fixed("I_", csr.rows)
+    if k_buf is None:
+        j_dense = ctx.dense_fixed("J_", csr.cols)
+    k_axis = ctx.dense_fixed("K", feat_size)
+    a_buf = ctx.buffer("A", [i_axis, j_axis], data=csr.data)
+    out_buf = ctx.buffer("OUT", [h_axis, i_axis, j_axis])
+    if q_buf is None:
+        q_buf = ctx.buffer(
+            "Q", [h_axis, i_dense, k_axis],
+            data=None if q is None else np.asarray(q, dtype=np.float32).reshape(-1),
+        )
+    if k_buf is None:
+        k_buf = ctx.buffer(
+            "Kv", [h_axis, k_axis, j_dense],
+            data=None if k is None else np.asarray(k, dtype=np.float32).reshape(-1),
+        )
     axes = (
         [h_axis, fuse(i_axis, j_axis), k_axis] if fuse_ij
         else [h_axis, i_axis, j_axis, k_axis]
     )
-    with builder.sp_iter(axes, "SSSR", "batched_sddmm") as (h, i, j, kk):
-        builder.init(out_buf[h, i, j], 0.0)
-        builder.compute(
+    with ctx.sp_iter(axes, "SSSR", "batched_sddmm") as (h, i, j, kk):
+        ctx.init(out_buf[h, i, j], 0.0)
+        ctx.compute(
             out_buf[h, i, j],
             out_buf[h, i, j] + a_buf[i, j] * q_buf[h, i, kk] * k_buf[h, kk, j],
         )
     if scale is not None:
         scale_axes = [h_axis, fuse(i_axis, j_axis)] if fuse_ij else [h_axis, i_axis, j_axis]
-        with builder.sp_iter(scale_axes, "SSS", "scale_scores") as (h, i, j):
-            builder.compute(out_buf[h, i, j], out_buf[h, i, j] * float(scale))
-    return builder.finish()
+        with ctx.sp_iter(scale_axes, "SSS", "scale_scores") as (h, i, j):
+            ctx.compute(out_buf[h, i, j], out_buf[h, i, j] * float(scale))
+    return {"out": out_buf, "q": q_buf, "k": k_buf}
 
 
 def build_batched_sddmm_bsr_program(
@@ -343,6 +383,152 @@ def bsr_element_permutation(csr: CSRMatrix, bsr: BSRMatrix) -> np.ndarray:
     if perm.size != csr.nnz:
         raise ValueError("mask is not block-aligned: stored patterns differ")
     return perm
+
+
+# ---------------------------------------------------------------------------
+# Attention-chain operators (edge softmax, SpMM with per-head edge values)
+# ---------------------------------------------------------------------------
+
+def edge_softmax_reference(csr: CSRMatrix, scores: np.ndarray) -> np.ndarray:
+    """Row-wise softmax over the stored edges, per head.
+
+    ``scores`` is ``(heads, nnz)`` in CSR element order; no max-subtraction,
+    mirroring the generated program (the attention scores of the paper's
+    masks are O(1), so the plain ``exp`` is well-conditioned).
+    """
+    scores = np.asarray(scores, dtype=np.float32)
+    if scores.ndim != 2 or scores.shape[1] != csr.nnz:
+        raise ValueError("scores must be (heads, nnz)")
+    ex = np.exp(scores)
+    out = np.empty_like(ex)
+    for row in range(csr.rows):
+        lo, hi = csr.indptr[row], csr.indptr[row + 1]
+        if hi > lo:
+            seg = ex[:, lo:hi]
+            out[:, lo:hi] = seg / seg.sum(axis=1, keepdims=True)
+    return out
+
+
+def batched_spmm_edges_reference(
+    csr: CSRMatrix, edge_values: np.ndarray, features: np.ndarray
+) -> np.ndarray:
+    """``out[h] = A_h @ X[h]`` where ``A_h`` carries per-head edge values."""
+    edge_values = np.asarray(edge_values, dtype=np.float32)
+    features = np.asarray(features, dtype=np.float32)
+    if edge_values.ndim != 2 or edge_values.shape[1] != csr.nnz:
+        raise ValueError("edge_values must be (heads, nnz)")
+    out = np.zeros((edge_values.shape[0], csr.rows, features.shape[-1]), dtype=np.float32)
+    for h in range(edge_values.shape[0]):
+        headed = CSRMatrix(csr.shape, csr.indptr, csr.indices, data=edge_values[h])
+        out[h] = spmm_reference(headed, features[h])
+    return out
+
+
+def emit_edge_softmax(
+    ctx: EmitContext,
+    csr: CSRMatrix,
+    num_heads: int,
+    scores: Optional[np.ndarray] = None,
+    dtype: str = "float32",
+    bind: Optional[Dict[str, SparseBuffer]] = None,
+) -> Dict[str, SparseBuffer]:
+    """Append a row-wise edge softmax: exp, per-row sum, normalise.
+
+    Three iterations over the shared ``(H, I, J)`` space — a pointwise
+    ``exp``, a row-sum reduction into ``Z[H, I]`` and the division.  All
+    three stay on the fast tiers (no max-subtraction), and fusing them with
+    the producing SDDMM / consuming SpMM shares the sparse axes so the
+    intermediate scores never leave the merged kernel.
+    """
+    bind = bind or {}
+    h_axis = ctx.dense_fixed("H", num_heads)
+    i_axis, j_axis = ctx.csr_axes(csr)
+    e_buf = bind.get("scores")
+    if e_buf is None:
+        e_buf = ctx.buffer(
+            "E", [h_axis, i_axis, j_axis], dtype=dtype,
+            data=None if scores is None else np.asarray(scores).reshape(-1),
+        )
+    ex_buf = ctx.buffer("EX", [h_axis, i_axis, j_axis], dtype=dtype)
+    z_buf = ctx.buffer("Z", [h_axis, i_axis], dtype=dtype)
+    p_buf = ctx.buffer("P", [h_axis, i_axis, j_axis], dtype=dtype)
+    with ctx.sp_iter([h_axis, i_axis, j_axis], "SSS", "exp_scores") as (h, i, j):
+        ctx.compute(ex_buf[h, i, j], Call("exp", [e_buf[h, i, j]], dtype=dtype))
+    with ctx.sp_iter([h_axis, i_axis, j_axis], "SSR", "row_sums") as (h, i, j):
+        ctx.init(z_buf[h, i], 0.0)
+        ctx.compute(z_buf[h, i], z_buf[h, i] + ex_buf[h, i, j])
+    with ctx.sp_iter([h_axis, i_axis, j_axis], "SSS", "normalise") as (h, i, j):
+        ctx.compute(p_buf[h, i, j], ex_buf[h, i, j] / z_buf[h, i])
+    return {"out": p_buf, "scores": e_buf}
+
+
+def build_edge_softmax_program(
+    csr: CSRMatrix,
+    num_heads: int,
+    scores: Optional[np.ndarray] = None,
+    dtype: str = "float32",
+) -> PrimFunc:
+    """Standalone row-wise edge-softmax program."""
+    ctx = EmitContext(ProgramBuilder("edge_softmax"))
+    emit_edge_softmax(ctx, csr, num_heads, scores, dtype=dtype)
+    return ctx.builder.finish()
+
+
+def emit_batched_spmm_edges(
+    ctx: EmitContext,
+    csr: CSRMatrix,
+    num_heads: int,
+    feat_size: int,
+    edge_values: Optional[np.ndarray] = None,
+    features: Optional[np.ndarray] = None,
+    dtype: str = "float32",
+    bind: Optional[Dict[str, SparseBuffer]] = None,
+) -> Dict[str, SparseBuffer]:
+    """Append a multi-head SpMM whose edge values are per-head (``S[H, I, J]``).
+
+    The attention-probability consumer: unlike :func:`emit_batched_spmm`,
+    the sparse value buffer carries one value per (head, edge), so the
+    softmax output feeds it directly.
+    """
+    bind = bind or {}
+    h_axis = ctx.dense_fixed("H", num_heads)
+    i_axis, j_axis = ctx.csr_axes(csr)
+    s_buf = bind.get("edge_values")
+    b_buf = bind.get("features")
+    if b_buf is None:
+        j_dense = ctx.dense_fixed("J_", csr.cols)
+    k_axis = ctx.dense_fixed("K", feat_size)
+    if s_buf is None:
+        s_buf = ctx.buffer(
+            "S", [h_axis, i_axis, j_axis], dtype=dtype,
+            data=None if edge_values is None else np.asarray(edge_values).reshape(-1),
+        )
+    if b_buf is None:
+        b_buf = ctx.buffer(
+            "B", [h_axis, j_dense, k_axis], dtype=dtype,
+            data=None if features is None else np.asarray(features).reshape(-1),
+        )
+    c_buf = ctx.buffer("C", [h_axis, i_axis, k_axis], dtype=dtype)
+    with ctx.sp_iter(
+        [h_axis, i_axis, j_axis, k_axis], "SSRS", "batched_spmm_edges"
+    ) as (h, i, j, k):
+        ctx.init(c_buf[h, i, k], 0.0)
+        ctx.compute(c_buf[h, i, k], c_buf[h, i, k] + s_buf[h, i, j] * b_buf[h, j, k])
+    return {"out": c_buf, "edge_values": s_buf, "features": b_buf}
+
+
+def build_batched_spmm_edges_program(
+    csr: CSRMatrix,
+    num_heads: int,
+    feat_size: int,
+    edge_values: Optional[np.ndarray] = None,
+    features: Optional[np.ndarray] = None,
+    dtype: str = "float32",
+) -> PrimFunc:
+    """Standalone per-head-edge-value SpMM program."""
+    ctx = EmitContext(ProgramBuilder("batched_spmm_edges"))
+    emit_batched_spmm_edges(ctx, csr, num_heads, feat_size, edge_values, features, dtype=dtype)
+    return ctx.builder.finish()
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,182 @@
+"""Dense element-wise and GEMM operators for graph capture.
+
+The model forward passes interleave sparse aggregation with small dense
+pieces — ``X @ W`` projections, residual adds and ReLUs.  Capturing those as
+graph nodes lets the fusion pass keep a whole layer inside one emitted
+kernel: the dense nodes carry no sparsity structure, so they ride along with
+whichever sparse group precedes them (see :mod:`repro.graph.fusion`).
+
+All operators are 2-D (``(m, n)`` matrices); the references mirror the
+generated programs exactly (loop-order ``np.add``/``np.maximum``/matmul
+accumulation in the same dtype), keeping the differential suite bit-exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.buffers import SparseBuffer
+from ..core.expr import Max
+from ..core.program import PrimFunc
+from ..core.script import EmitContext, ProgramBuilder
+
+
+# ---------------------------------------------------------------------------
+# References
+# ---------------------------------------------------------------------------
+
+def gemm_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense ``A @ B`` ground truth (NumPy matmul)."""
+    return np.asarray(a) @ np.asarray(b)
+
+
+def add_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise ``A + B``."""
+    return np.asarray(a) + np.asarray(b)
+
+
+def relu_reference(a: np.ndarray) -> np.ndarray:
+    """Element-wise ``max(A, 0)``."""
+    a = np.asarray(a)
+    return np.maximum(a, np.zeros((), dtype=a.dtype))
+
+
+# ---------------------------------------------------------------------------
+# Emitters
+# ---------------------------------------------------------------------------
+
+def emit_gemm(
+    ctx: EmitContext,
+    m: int,
+    k: int,
+    n: int,
+    a: Optional[np.ndarray] = None,
+    b: Optional[np.ndarray] = None,
+    dtype: str = "float32",
+    bind: Optional[Dict[str, SparseBuffer]] = None,
+) -> Dict[str, SparseBuffer]:
+    """Append a dense GEMM nest: ``C[i, j] = sum_k A[i, k] * B[k, j]``."""
+    bind = bind or {}
+    a_buf = bind.get("a")
+    b_buf = bind.get("b")
+    i_axis = ctx.dense_fixed("I", m)
+    k_axis = ctx.dense_fixed("K", k)
+    j_axis = ctx.dense_fixed("J", n)
+    if a_buf is None:
+        a_buf = ctx.buffer(
+            "A", [i_axis, k_axis], dtype=dtype,
+            data=None if a is None else np.asarray(a).reshape(-1),
+        )
+    if b_buf is None:
+        b_buf = ctx.buffer(
+            "B", [k_axis, j_axis], dtype=dtype,
+            data=None if b is None else np.asarray(b).reshape(-1),
+        )
+    c_buf = ctx.buffer("C", [i_axis, j_axis], dtype=dtype)
+    with ctx.sp_iter([i_axis, k_axis, j_axis], "SRS", "gemm") as (i, kk, j):
+        ctx.init(c_buf[i, j], 0.0)
+        ctx.compute(c_buf[i, j], c_buf[i, j] + a_buf[i, kk] * b_buf[kk, j])
+    return {"out": c_buf, "a": a_buf, "b": b_buf}
+
+
+def build_gemm_program(
+    m: int,
+    k: int,
+    n: int,
+    a: Optional[np.ndarray] = None,
+    b: Optional[np.ndarray] = None,
+    dtype: str = "float32",
+) -> PrimFunc:
+    """Standalone dense GEMM program."""
+    ctx = EmitContext(ProgramBuilder("gemm"))
+    emit_gemm(ctx, m, k, n, a, b, dtype=dtype)
+    return ctx.builder.finish()
+
+
+def emit_add(
+    ctx: EmitContext,
+    m: int,
+    n: int,
+    a: Optional[np.ndarray] = None,
+    b: Optional[np.ndarray] = None,
+    dtype: str = "float32",
+    bind: Optional[Dict[str, SparseBuffer]] = None,
+) -> Dict[str, SparseBuffer]:
+    """Append an element-wise add nest over an ``(m, n)`` matrix."""
+    bind = bind or {}
+    a_buf = bind.get("a")
+    b_buf = bind.get("b")
+    i_axis = ctx.dense_fixed("I", m)
+    j_axis = ctx.dense_fixed("J", n)
+    if a_buf is None:
+        a_buf = ctx.buffer(
+            "A", [i_axis, j_axis], dtype=dtype,
+            data=None if a is None else np.asarray(a).reshape(-1),
+        )
+    if b_buf is None:
+        b_buf = ctx.buffer(
+            "B", [i_axis, j_axis], dtype=dtype,
+            data=None if b is None else np.asarray(b).reshape(-1),
+        )
+    c_buf = ctx.buffer("C", [i_axis, j_axis], dtype=dtype)
+    with ctx.sp_iter([i_axis, j_axis], "SS", "add") as (i, j):
+        ctx.compute(c_buf[i, j], a_buf[i, j] + b_buf[i, j])
+    return {"out": c_buf, "a": a_buf, "b": b_buf}
+
+
+def build_add_program(
+    m: int,
+    n: int,
+    a: Optional[np.ndarray] = None,
+    b: Optional[np.ndarray] = None,
+    dtype: str = "float32",
+) -> PrimFunc:
+    """Standalone element-wise add program."""
+    ctx = EmitContext(ProgramBuilder("add"))
+    emit_add(ctx, m, n, a, b, dtype=dtype)
+    return ctx.builder.finish()
+
+
+def emit_relu(
+    ctx: EmitContext,
+    m: int,
+    n: int,
+    a: Optional[np.ndarray] = None,
+    dtype: str = "float32",
+    bind: Optional[Dict[str, SparseBuffer]] = None,
+) -> Dict[str, SparseBuffer]:
+    """Append an element-wise ReLU nest over an ``(m, n)`` matrix."""
+    bind = bind or {}
+    a_buf = bind.get("a")
+    i_axis = ctx.dense_fixed("I", m)
+    j_axis = ctx.dense_fixed("J", n)
+    if a_buf is None:
+        a_buf = ctx.buffer(
+            "A", [i_axis, j_axis], dtype=dtype,
+            data=None if a is None else np.asarray(a).reshape(-1),
+        )
+    c_buf = ctx.buffer("C", [i_axis, j_axis], dtype=dtype)
+    with ctx.sp_iter([i_axis, j_axis], "SS", "relu") as (i, j):
+        ctx.compute(c_buf[i, j], Max(a_buf[i, j], 0.0))
+    return {"out": c_buf, "a": a_buf}
+
+
+def build_relu_program(
+    m: int,
+    n: int,
+    a: Optional[np.ndarray] = None,
+    dtype: str = "float32",
+) -> PrimFunc:
+    """Standalone element-wise ReLU program."""
+    ctx = EmitContext(ProgramBuilder("relu"))
+    emit_relu(ctx, m, n, a, dtype=dtype)
+    return ctx.builder.finish()
+
+
+__all__ = [
+    "gemm_reference", "add_reference", "relu_reference",
+    "emit_gemm", "emit_add", "emit_relu",
+    "build_gemm_program", "build_add_program", "build_relu_program",
+]

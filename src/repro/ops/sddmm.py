@@ -12,17 +12,18 @@ composable transformations.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
+from ..core.buffers import SparseBuffer
 from ..core.program import PrimFunc
-from ..core.script import ProgramBuilder
+from ..core.script import EmitContext, ProgramBuilder
 from ..core.sparse_iteration import fuse
 from ..formats.csr import CSRMatrix
 from ..perf.device import DeviceSpec
 from ..perf.workload import BlockGroup, KernelWorkload
-from .common import INDEX_BYTES, ceil_div, dense_reuse_miss_rate, value_bytes
+from .common import INDEX_BYTES, ceil_div, dense_reuse_miss_rate, keyword_session, value_bytes
 
 
 # ---------------------------------------------------------------------------
@@ -54,11 +55,13 @@ def sddmm_reference(csr: CSRMatrix, x: np.ndarray, y: np.ndarray) -> np.ndarray:
 # Executable operator (compile-once/run-many Session path)
 # ---------------------------------------------------------------------------
 
+@keyword_session
 def sddmm(
     csr: CSRMatrix,
     x: np.ndarray,
     y: np.ndarray,
     fuse_ij: bool = True,
+    *,
     session=None,
     tuned: bool = False,
 ) -> np.ndarray:
@@ -88,23 +91,42 @@ def build_sddmm_program(
     dtype: str = "float32",
 ) -> PrimFunc:
     """The SDDMM program; with ``fuse_ij`` the (i, j) axes iterate as one loop."""
-    builder = ProgramBuilder("sddmm")
-    i_axis = builder.dense_fixed("I", csr.rows)
-    j_axis = builder.sparse_variable(
-        "J", parent=i_axis, length=csr.cols, nnz=csr.nnz, indptr=csr.indptr, indices=csr.indices
-    )
-    i_dense = builder.dense_fixed("I_", csr.rows)
-    j_dense = builder.dense_fixed("J_", csr.cols)
-    k_axis = builder.dense_fixed("K", feat_size)
-    a_buf = builder.match_sparse_buffer("A", [i_axis, j_axis], dtype=dtype, data=csr.data)
-    out_buf = builder.match_sparse_buffer("OUT", [i_axis, j_axis], dtype=dtype)
-    x_buf = builder.match_sparse_buffer("X", [i_dense, k_axis], dtype=dtype, data=x)
-    y_buf = builder.match_sparse_buffer("Y", [k_axis, j_dense], dtype=dtype, data=y)
+    ctx = EmitContext(ProgramBuilder("sddmm"))
+    emit_sddmm(ctx, csr, feat_size, x, y, fuse_ij=fuse_ij, dtype=dtype)
+    return ctx.builder.finish()
+
+
+def emit_sddmm(
+    ctx: EmitContext,
+    csr: CSRMatrix,
+    feat_size: int,
+    x: Optional[np.ndarray] = None,
+    y: Optional[np.ndarray] = None,
+    fuse_ij: bool = True,
+    dtype: str = "float32",
+    bind: Optional[Dict[str, SparseBuffer]] = None,
+) -> Dict[str, SparseBuffer]:
+    """Append the SDDMM iteration; ``bind`` may supply the ``x``/``y`` buffers."""
+    bind = bind or {}
+    i_axis, j_axis = ctx.csr_axes(csr)
+    x_buf = bind.get("x")
+    y_buf = bind.get("y")
+    if x_buf is None:
+        i_dense = ctx.dense_fixed("I_", csr.rows)
+    if y_buf is None:
+        j_dense = ctx.dense_fixed("J_", csr.cols)
+    k_axis = ctx.dense_fixed("K", feat_size)
+    a_buf = ctx.buffer("A", [i_axis, j_axis], dtype=dtype, data=csr.data)
+    out_buf = ctx.buffer("OUT", [i_axis, j_axis], dtype=dtype)
+    if x_buf is None:
+        x_buf = ctx.buffer("X", [i_dense, k_axis], dtype=dtype, data=x)
+    if y_buf is None:
+        y_buf = ctx.buffer("Y", [k_axis, j_dense], dtype=dtype, data=y)
     axes = [fuse(i_axis, j_axis), k_axis] if fuse_ij else [i_axis, j_axis, k_axis]
-    with builder.sp_iter(axes, "SSR", "sddmm") as (i, j, k):
-        builder.init(out_buf[i, j], 0.0)
-        builder.compute(out_buf[i, j], out_buf[i, j] + a_buf[i, j] * x_buf[i, k] * y_buf[k, j])
-    return builder.finish()
+    with ctx.sp_iter(axes, "SSR", "sddmm") as (i, j, k):
+        ctx.init(out_buf[i, j], 0.0)
+        ctx.compute(out_buf[i, j], out_buf[i, j] + a_buf[i, j] * x_buf[i, k] * y_buf[k, j])
+    return {"out": out_buf, "x": x_buf, "y": y_buf}
 
 
 # ---------------------------------------------------------------------------

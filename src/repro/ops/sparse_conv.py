@@ -17,15 +17,16 @@ while its gather/scatter traffic advantage is only linear in the channels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..core.buffers import SparseBuffer
 from ..core.program import PrimFunc
-from ..core.script import ProgramBuilder
+from ..core.script import EmitContext, ProgramBuilder
 from ..perf.device import DeviceSpec
 from ..perf.workload import BlockGroup, KernelWorkload
-from .common import INDEX_BYTES, ceil_div, value_bytes
+from .common import INDEX_BYTES, ceil_div, keyword_session, value_bytes
 
 
 @dataclass
@@ -85,10 +86,12 @@ def sparse_conv_reference(problem: SparseConvProblem, features: np.ndarray, weig
 # Executable operator (compile-once/run-many Session path)
 # ---------------------------------------------------------------------------
 
+@keyword_session
 def sparse_conv(
     problem: SparseConvProblem,
     features: np.ndarray,
     weights: np.ndarray,
+    *,
     session=None,
     tuned: bool = False,
 ) -> np.ndarray:
@@ -124,6 +127,20 @@ def build_sparse_conv_program(
     voxels — no intermediate is ever materialised, matching the fused RGMS
     schedule the paper evaluates against TorchSparse.
     """
+    ctx = EmitContext(ProgramBuilder("sparse_conv"))
+    emit_sparse_conv(ctx, problem, features, weights)
+    return ctx.builder.finish()
+
+
+def emit_sparse_conv(
+    ctx: EmitContext,
+    problem: SparseConvProblem,
+    features: Optional[np.ndarray] = None,
+    weights: Optional[np.ndarray] = None,
+    bind: Optional[Dict[str, SparseBuffer]] = None,
+) -> Dict[str, SparseBuffer]:
+    """Append the per-offset conv iterations; ``bind`` may supply ``features``."""
+    bind = bind or {}
     cin, cout = problem.in_channels, problem.out_channels
     if features is not None:
         features = np.asarray(features, dtype=np.float32)
@@ -135,44 +152,43 @@ def build_sparse_conv_program(
         if w_arr.shape != (problem.kernel_volume, cin, cout):
             raise ValueError("weights shape does not match the problem")
 
-    builder = ProgramBuilder("sparse_conv")
-    in_axis = builder.dense_fixed("NIN", problem.num_in_points)
-    out_axis = builder.dense_fixed("NOUT", problem.num_out_points)
-    ci_axis = builder.dense_fixed("CI", cin)
-    co_axis = builder.dense_fixed("CO", cout)
-    x_buf = builder.match_sparse_buffer(
-        "X", [in_axis, ci_axis],
-        data=None if features is None else features.reshape(-1),
-    )
-    y_buf = builder.match_sparse_buffer("Y", [out_axis, co_axis])
+    x_buf = bind.get("features")
+    if x_buf is None:
+        in_axis = ctx.dense_fixed("NIN", problem.num_in_points)
+    out_axis = ctx.dense_fixed("NOUT", problem.num_out_points)
+    if x_buf is None:
+        ci_axis = ctx.dense_fixed("CI", cin)
+    co_axis = ctx.dense_fixed("CO", cout)
+    if x_buf is None:
+        x_buf = ctx.buffer(
+            "X", [in_axis, ci_axis],
+            data=None if features is None else features.reshape(-1),
+        )
+    y_buf = ctx.buffer("Y", [out_axis, co_axis])
 
-    with builder.sp_iter([out_axis, co_axis], "SS", "init_output") as (o, co):
-        builder.compute(y_buf[o, co], 0.0)
+    with ctx.sp_iter([out_axis, co_axis], "SS", "init_output") as (o, co):
+        ctx.compute(y_buf[o, co], 0.0)
 
     for offset, pairs in enumerate(problem.kernel_maps):
         if len(pairs) == 0:
             continue
-        p_axis = builder.dense_fixed(f"P{offset}", len(pairs))
-        ci_local = builder.dense_fixed(f"CI{offset}", cin)
-        co_local = builder.dense_fixed(f"CO{offset}", cout)
-        in_map = builder.match_sparse_buffer(
-            f"inmap{offset}", [p_axis], dtype="int32", data=pairs[:, 0]
-        )
-        out_map = builder.match_sparse_buffer(
-            f"outmap{offset}", [p_axis], dtype="int32", data=pairs[:, 1]
-        )
-        w_buf = builder.match_sparse_buffer(
+        p_axis = ctx.dense_fixed(f"P{offset}", len(pairs))
+        ci_local = ctx.dense_fixed(f"CI{offset}", cin)
+        co_local = ctx.dense_fixed(f"CO{offset}", cout)
+        in_map = ctx.buffer(f"inmap{offset}", [p_axis], dtype="int32", data=pairs[:, 0])
+        out_map = ctx.buffer(f"outmap{offset}", [p_axis], dtype="int32", data=pairs[:, 1])
+        w_buf = ctx.buffer(
             f"W{offset}", [ci_local, co_local],
             data=None if w_arr is None else w_arr[offset].reshape(-1),
         )
-        with builder.sp_iter(
+        with ctx.sp_iter(
             [p_axis, ci_local, co_local], "SRS", f"conv_offset{offset}"
         ) as (p, ci, co):
-            builder.compute(
+            ctx.compute(
                 y_buf[out_map[p], co],
                 y_buf[out_map[p], co] + x_buf[in_map[p], ci] * w_buf[ci, co],
             )
-    return builder.finish()
+    return {"out": y_buf, "features": x_buf}
 
 
 # ---------------------------------------------------------------------------

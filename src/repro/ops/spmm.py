@@ -20,13 +20,21 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..core.buffers import SparseBuffer
 from ..core.program import PrimFunc
-from ..core.script import ProgramBuilder
+from ..core.script import EmitContext, ProgramBuilder
 from ..formats.csr import CSRMatrix
 from ..formats.hyb import HybFormat
 from ..perf.device import DeviceSpec
 from ..perf.workload import BlockGroup, KernelWorkload
-from .common import INDEX_BYTES, ceil_div, dense_reuse_miss_rate, split_row_blocks, value_bytes
+from .common import (
+    INDEX_BYTES,
+    ceil_div,
+    dense_reuse_miss_rate,
+    keyword_session,
+    split_row_blocks,
+    value_bytes,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -64,12 +72,14 @@ def spmm_hyb_reference(hyb: HybFormat, features: np.ndarray) -> np.ndarray:
 # Executable operator (compile-once/run-many Session path)
 # ---------------------------------------------------------------------------
 
+@keyword_session
 def spmm(
     csr: CSRMatrix,
     features: np.ndarray,
     format: str = "csr",
     num_col_parts: int = 1,
     num_buckets: Optional[int] = None,
+    *,
     session=None,
     tuned: bool = False,
 ) -> np.ndarray:
@@ -100,6 +110,37 @@ def spmm(
 # SparseTIR programs (compiled through the full pipeline)
 # ---------------------------------------------------------------------------
 
+def emit_spmm(
+    ctx: EmitContext,
+    csr: CSRMatrix,
+    feat_size: int,
+    features: Optional[np.ndarray] = None,
+    dtype: str = "float32",
+    bind: Optional[Dict[str, SparseBuffer]] = None,
+) -> Dict[str, SparseBuffer]:
+    """Append the Figure-3 CSR SpMM iteration to a shared program.
+
+    ``bind`` may map ``"features"`` to an already-emitted buffer (the output
+    of a fused producer), in which case no fresh input buffer is created.
+    Returns the operator's buffers by logical role (``"out"``,
+    ``"features"``).
+    """
+    bind = bind or {}
+    i_axis, j_axis = ctx.csr_axes(csr)
+    b_buf = bind.get("features")
+    if b_buf is None:
+        j_dense = ctx.dense_fixed("J_", csr.cols)
+    k_axis = ctx.dense_fixed("K", feat_size)
+    a_buf = ctx.buffer("A", [i_axis, j_axis], dtype=dtype, data=csr.data)
+    if b_buf is None:
+        b_buf = ctx.buffer("B", [j_dense, k_axis], dtype=dtype, data=features)
+    c_buf = ctx.buffer("C", [i_axis, k_axis], dtype=dtype)
+    with ctx.sp_iter([i_axis, j_axis, k_axis], "SRS", "spmm") as (i, j, k):
+        ctx.init(c_buf[i, k], 0.0)
+        ctx.compute(c_buf[i, k], c_buf[i, k] + a_buf[i, j] * b_buf[j, k])
+    return {"out": c_buf, "features": b_buf}
+
+
 def build_spmm_program(
     csr: CSRMatrix,
     feat_size: int,
@@ -107,20 +148,51 @@ def build_spmm_program(
     dtype: str = "float32",
 ) -> PrimFunc:
     """The CSR SpMM program of Figure 3."""
-    builder = ProgramBuilder("spmm")
-    i_axis = builder.dense_fixed("I", csr.rows)
-    j_axis = builder.sparse_variable(
-        "J", parent=i_axis, length=csr.cols, nnz=csr.nnz, indptr=csr.indptr, indices=csr.indices
-    )
-    j_dense = builder.dense_fixed("J_", csr.cols)
-    k_axis = builder.dense_fixed("K", feat_size)
-    a_buf = builder.match_sparse_buffer("A", [i_axis, j_axis], dtype=dtype, data=csr.data)
-    b_buf = builder.match_sparse_buffer("B", [j_dense, k_axis], dtype=dtype, data=features)
-    c_buf = builder.match_sparse_buffer("C", [i_axis, k_axis], dtype=dtype)
-    with builder.sp_iter([i_axis, j_axis, k_axis], "SRS", "spmm") as (i, j, k):
-        builder.init(c_buf[i, k], 0.0)
-        builder.compute(c_buf[i, k], c_buf[i, k] + a_buf[i, j] * b_buf[j, k])
-    return builder.finish()
+    ctx = EmitContext(ProgramBuilder("spmm"))
+    emit_spmm(ctx, csr, feat_size, features, dtype=dtype)
+    return ctx.builder.finish()
+
+
+def emit_spmm_hyb(
+    ctx: EmitContext,
+    hyb: HybFormat,
+    feat_size: int,
+    features: Optional[np.ndarray] = None,
+    dtype: str = "float32",
+    bind: Optional[Dict[str, SparseBuffer]] = None,
+) -> Dict[str, SparseBuffer]:
+    """Append the composable hyb SpMM iterations (init + one per bucket)."""
+    bind = bind or {}
+    rows, cols = hyb.source.shape
+    i_axis = ctx.dense_fixed("I", rows)
+    k_axis = ctx.dense_fixed("K", feat_size)
+    b_buf = bind.get("features")
+    if b_buf is None:
+        j_dense = ctx.dense_fixed("J_", cols)
+        b_buf = ctx.buffer("B", [j_dense, k_axis], dtype=dtype, data=features)
+    c_buf = ctx.buffer("C", [i_axis, k_axis], dtype=dtype)
+
+    with ctx.sp_iter([i_axis, k_axis], "SS", "init_output") as (i, k):
+        ctx.compute(c_buf[i, k], 0.0)
+
+    for index, bucket in enumerate(hyb.buckets):
+        ell = bucket.ell
+        name = f"p{bucket.partition}_w{bucket.width}_{index}"
+        row_axis = ctx.dense_fixed(f"I_{name}", ell.num_rows)
+        col_axis = ctx.builder.sparse_fixed(
+            ctx.name(f"J_{name}"), parent=row_axis, length=cols, nnz_cols=ell.nnz_cols,
+            indices=(ell.indices + np.where(ell.indices >= 0, bucket.col_offset, 0)).reshape(-1),
+        )
+        k_local = ctx.dense_fixed(f"K_{name}", feat_size)
+        values = ctx.buffer(
+            f"A_{name}", [row_axis, col_axis], dtype=dtype, data=ell.data.reshape(-1)
+        )
+        row_map = ctx.buffer(f"rowmap_{name}", [row_axis], dtype="int32", data=ell.row_map)
+        with ctx.sp_iter([row_axis, col_axis, k_local], "SRS", f"spmm_{name}") as (i, j, k):
+            ctx.compute(
+                c_buf[row_map[i], k], c_buf[row_map[i], k] + values[i, j] * b_buf[j, k]
+            )
+    return {"out": c_buf, "features": b_buf}
 
 
 def build_spmm_hyb_program(
@@ -137,37 +209,9 @@ def build_spmm_hyb_program(
     output.  Zero-initialisation of the output is a separate spatial
     iteration, mirroring how the generated kernels accumulate across buckets.
     """
-    builder = ProgramBuilder("spmm_hyb")
-    rows, cols = hyb.source.shape
-    i_axis = builder.dense_fixed("I", rows)
-    k_axis = builder.dense_fixed("K", feat_size)
-    j_dense = builder.dense_fixed("J_", cols)
-    b_buf = builder.match_sparse_buffer("B", [j_dense, k_axis], dtype=dtype, data=features)
-    c_buf = builder.match_sparse_buffer("C", [i_axis, k_axis], dtype=dtype)
-
-    with builder.sp_iter([i_axis, k_axis], "SS", "init_output") as (i, k):
-        builder.compute(c_buf[i, k], 0.0)
-
-    for index, bucket in enumerate(hyb.buckets):
-        ell = bucket.ell
-        name = f"p{bucket.partition}_w{bucket.width}_{index}"
-        row_axis = builder.dense_fixed(f"I_{name}", ell.num_rows)
-        col_axis = builder.sparse_fixed(
-            f"J_{name}", parent=row_axis, length=cols, nnz_cols=ell.nnz_cols,
-            indices=(ell.indices + np.where(ell.indices >= 0, bucket.col_offset, 0)).reshape(-1),
-        )
-        k_local = builder.dense_fixed(f"K_{name}", feat_size)
-        values = builder.match_sparse_buffer(
-            f"A_{name}", [row_axis, col_axis], dtype=dtype, data=ell.data.reshape(-1)
-        )
-        row_map = builder.match_sparse_buffer(
-            f"rowmap_{name}", [row_axis], dtype="int32", data=ell.row_map
-        )
-        with builder.sp_iter([row_axis, col_axis, k_local], "SRS", f"spmm_{name}") as (i, j, k):
-            builder.compute(
-                c_buf[row_map[i], k], c_buf[row_map[i], k] + values[i, j] * b_buf[j, k]
-            )
-    return builder.finish()
+    ctx = EmitContext(ProgramBuilder("spmm_hyb"))
+    emit_spmm_hyb(ctx, hyb, feat_size, features, dtype=dtype)
+    return ctx.builder.finish()
 
 
 # ---------------------------------------------------------------------------

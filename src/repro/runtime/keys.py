@@ -1,0 +1,81 @@
+"""Shared content-hashing and dtype-resolution helpers of the runtime.
+
+Both helpers used to live as private functions on :mod:`repro.runtime.session`
+(and were at risk of being re-implemented next to the operator front ends);
+they are the two policies every operator entry point shares:
+
+* :func:`content_key` — a stable digest of arbitrary parameter/array mixes,
+  used to memoise format decompositions and other structure-derived artefacts
+  by *content* (two structurally identical matrices share cache entries even
+  when they are distinct objects);
+* :func:`resolve_dtype` — the value-dtype promotion rule of the operator
+  layer (float64 anywhere promotes the whole kernel, everything else computes
+  in the paper's float32).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+import numpy as np
+
+
+def content_key(*parts: Any) -> str:
+    """A stable hex digest of a mixed sequence of arrays and plain values.
+
+    Arrays are hashed by dtype and raw bytes (C-contiguous view), everything
+    else by ``repr``.  Parts are length-delimited, so ``("ab",)`` and
+    ``("a", "b")`` produce different keys.
+
+    >>> import numpy as np
+    >>> content_key("hyb", np.arange(3)) == content_key("hyb", np.arange(3))
+    True
+    >>> content_key("hyb", np.arange(3)) == content_key("hyb", np.arange(4))
+    False
+    """
+    digest = hashlib.sha1()
+    for part in parts:
+        if isinstance(part, np.ndarray):
+            arr = np.ascontiguousarray(part)
+            digest.update(str(arr.dtype).encode())
+            digest.update(arr.tobytes())
+        else:
+            digest.update(repr(part).encode())
+        digest.update(b"|")
+    return digest.hexdigest()
+
+
+def resolve_dtype(arrays: Any, dtype: Any) -> str:
+    """The value dtype an operator should compute in.
+
+    ``None`` infers from the operands (a single array or a sequence of
+    them): if *any* operand is float64 the whole kernel computes in float64,
+    everything else computes in the paper's float32 — so no operand is ever
+    silently downcast.  The resolved dtype flows into the generated
+    program's buffers — and therefore into the structural fingerprint — so a
+    float32 cache entry can never serve a float64 caller.
+
+    Operands may be NumPy arrays or any object exposing a ``dtype``
+    attribute (e.g. a :class:`~repro.graph.ir.TensorRef` recorded during
+    graph capture).
+
+    >>> import numpy as np
+    >>> resolve_dtype((np.ones(2, np.float32), np.ones(2, np.float64)), None)
+    'float64'
+    >>> resolve_dtype(np.ones(2, np.float32), None)
+    'float32'
+    """
+    if dtype is None:
+        operands = arrays if isinstance(arrays, (tuple, list)) else (arrays,)
+        for operand in operands:
+            found = getattr(operand, "dtype", None)
+            if found is None:
+                found = np.asarray(operand).dtype
+            if np.dtype(found) == np.float64:
+                return "float64"
+        return "float32"
+    name = np.dtype(dtype).name
+    if name not in ("float32", "float64"):
+        raise ValueError(f"unsupported value dtype {name!r}; use float32 or float64")
+    return name

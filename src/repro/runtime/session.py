@@ -39,7 +39,6 @@ Example:
 
 from __future__ import annotations
 
-import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional
@@ -49,6 +48,7 @@ import numpy as np
 from ..core.codegen.build import Kernel, build
 from ..core.codegen.cache import KernelCache
 from ..core.program import PrimFunc
+from .keys import content_key, resolve_dtype
 
 
 @dataclass
@@ -70,6 +70,8 @@ class SessionStats:
     emitted_runs: int = 0
     vectorized_runs: int = 0
     interpreted_runs: int = 0
+    graph_nodes_fused: int = 0
+    graph_nodes_unfused: int = 0
 
     @property
     def runs(self) -> int:
@@ -90,6 +92,8 @@ class SessionStats:
             "emitted_runs": self.emitted_runs,
             "vectorized_runs": self.vectorized_runs,
             "interpreted_runs": self.interpreted_runs,
+            "graph_nodes_fused": self.graph_nodes_fused,
+            "graph_nodes_unfused": self.graph_nodes_unfused,
         }
 
 
@@ -106,40 +110,11 @@ def _pad_axis(array: np.ndarray, axis: int, length: int) -> np.ndarray:
     return np.pad(array, pad)
 
 
-def _content_key(*parts: Any) -> str:
-    digest = hashlib.sha1()
-    for part in parts:
-        if isinstance(part, np.ndarray):
-            arr = np.ascontiguousarray(part)
-            digest.update(str(arr.dtype).encode())
-            digest.update(arr.tobytes())
-        else:
-            digest.update(repr(part).encode())
-        digest.update(b"|")
-    return digest.hexdigest()
-
-
-def _resolve_dtype(arrays: Any, dtype: Any) -> str:
-    """The value dtype an operator should compute in.
-
-    ``None`` infers from the operands (a single array or a sequence of
-    them): if *any* operand is float64 the whole kernel computes in float64,
-    everything else computes in the paper's float32 — so no operand is ever
-    silently downcast.  The resolved dtype flows into the generated
-    program's buffers — and therefore into the structural fingerprint — so a
-    float32 cache entry can never serve a float64 caller.
-    """
-    if dtype is None:
-        operands = arrays if isinstance(arrays, (tuple, list)) else (arrays,)
-        return (
-            "float64"
-            if any(np.asarray(a).dtype == np.float64 for a in operands)
-            else "float32"
-        )
-    name = np.dtype(dtype).name
-    if name not in ("float32", "float64"):
-        raise ValueError(f"unsupported value dtype {name!r}; use float32 or float64")
-    return name
+# Backwards-compatible aliases: the canonical definitions moved to
+# :mod:`repro.runtime.keys` so the operator registry and the graph layer can
+# share them without importing the (heavier) session module.
+_content_key = content_key
+_resolve_dtype = resolve_dtype
 
 
 class Session:
@@ -242,6 +217,35 @@ class Session:
         else:
             self.stats.interpreted_runs += 1
         return result
+
+    def _execute(self, spec) -> np.ndarray:
+        """Build, run and finalise one resolved operator spec.
+
+        The single execution path behind every public operator method: the
+        spec (see :mod:`repro.ops.registry`) already carries the resolved
+        dtype, tuned overrides and format decompositions, so all that is
+        left is the shared build/run/finalize plumbing.
+        """
+        from ..ops import registry
+
+        func, names = registry.build_spec_program(spec)
+        out = self.run(func)
+        return registry.finalize(spec, out[names["out"]])
+
+    # -- graph capture -----------------------------------------------------------
+    def graph(self):
+        """Open a lazy capture scope: a :class:`~repro.graph.builder.GraphBuilder`.
+
+        The builder mirrors the operator methods (plus dense ``gemm`` /
+        ``add`` / ``relu`` and the attention ``edge_softmax`` /
+        ``batched_spmm_edges``) but records nodes instead of executing;
+        ``builder.compile()`` lowers the captured
+        :class:`~repro.graph.ir.DataflowGraph` into an executable
+        :class:`~repro.graph.compile.CompiledGraph` with cross-op fusion.
+        """
+        from ..graph import GraphBuilder
+
+        return GraphBuilder(self)
 
     # -- autotuning ------------------------------------------------------------
     @property
@@ -427,27 +431,12 @@ class Session:
         Returns:
             The dense product, shape ``(rows, feat)`` in the resolved dtype.
         """
-        from ..ops.spmm import build_spmm_hyb_program, build_spmm_program
+        from ..ops.registry import prepare_spmm
 
-        value_dtype = _resolve_dtype((features, csr.data), dtype)
-        features = np.asarray(features, dtype=value_dtype)
-        feat_size = features.shape[1]
-        if tuned:
-            from ..tune.spaces import SpMMProblem
-
-            overrides = self._tuned_overrides("spmm", SpMMProblem(csr, feat_size))
-            format = overrides.get("format", format)
-            num_col_parts = overrides.get("num_col_parts", num_col_parts)
-            num_buckets = overrides.get("num_buckets", num_buckets)
-        if format == "csr":
-            func = build_spmm_program(csr, feat_size, features, dtype=value_dtype)
-        elif format == "hyb":
-            hyb = self.decompose_hyb(csr, num_col_parts=num_col_parts, num_buckets=num_buckets)
-            func = build_spmm_hyb_program(hyb, feat_size, features, dtype=value_dtype)
-        else:
-            raise ValueError(f"unknown SpMM format {format!r}; use 'csr' or 'hyb'")
-        out = self.run(func)
-        return out["C"].reshape(csr.rows, feat_size)
+        return self._execute(prepare_spmm(
+            self, csr, features, format=format, num_col_parts=num_col_parts,
+            num_buckets=num_buckets, dtype=dtype, tuned=tuned,
+        ))
 
     def sddmm(
         self,
@@ -472,19 +461,11 @@ class Session:
         Returns:
             The new edge values in CSR order, shape ``(nnz,)``.
         """
-        from ..ops.sddmm import build_sddmm_program
+        from ..ops.registry import prepare_sddmm
 
-        value_dtype = _resolve_dtype((x, y, csr.data), dtype)
-        x = np.asarray(x, dtype=value_dtype)
-        y = np.asarray(y, dtype=value_dtype)
-        if tuned:
-            from ..tune.spaces import SDDMMProblem
-
-            overrides = self._tuned_overrides("sddmm", SDDMMProblem(csr, x.shape[1]))
-            fuse_ij = overrides.get("fuse_ij", fuse_ij)
-        func = build_sddmm_program(csr, x.shape[1], x, y, fuse_ij=fuse_ij, dtype=value_dtype)
-        out = self.run(func)
-        return out["OUT"][: csr.nnz]
+        return self._execute(prepare_sddmm(
+            self, csr, x, y, fuse_ij=fuse_ij, dtype=dtype, tuned=tuned
+        ))
 
     def pruned_spmm(self, bsr, x: np.ndarray) -> np.ndarray:
         """``W @ X`` with a BSR (block-pruned) weight matrix.
@@ -496,12 +477,9 @@ class Session:
         Returns:
             The product, shape ``(out_features, seq_len)``.
         """
-        from ..ops.pruned_spmm import build_pruned_spmm_bsr_program
+        from ..ops.registry import prepare_pruned_spmm
 
-        x = np.asarray(x, dtype=np.float32)
-        func = build_pruned_spmm_bsr_program(bsr, x.shape[1], x)
-        out = self.run(func)
-        return out["Y"].reshape(bsr.shape[0], x.shape[1])
+        return self._execute(prepare_pruned_spmm(self, bsr, x))
 
     def batched_spmm(
         self,
@@ -529,33 +507,11 @@ class Session:
         Returns:
             The per-head products, shape ``(heads, rows, feat)``.
         """
-        from ..ops.batched import build_batched_spmm_bsr_program, build_batched_spmm_program
+        from ..ops.registry import prepare_batched_spmm
 
-        features = np.asarray(features, dtype=np.float32)
-        if features.ndim != 3:
-            raise ValueError("features must be (heads, cols, feat)")
-        heads, cols, feat = features.shape
-        if cols != csr.cols:
-            raise ValueError(f"features have {cols} rows per head, expected {csr.cols}")
-        if tuned:
-            from ..tune.spaces import AttentionProblem
-
-            overrides = self._tuned_overrides(
-                "attention", AttentionProblem(csr, heads, feat)
-            )
-            format = overrides.get("format", format)
-            block_size = overrides.get("block_size", block_size)
-        if format == "csr":
-            func = build_batched_spmm_program(csr, heads, feat, features)
-            out = self.run(func)
-            return out["C"].reshape(heads, csr.rows, feat)
-        if format == "bsr":
-            bsr = self.decompose_bsr(csr, block_size)
-            padded = _pad_axis(features, axis=1, length=bsr.shape[1])
-            func = build_batched_spmm_bsr_program(bsr, heads, feat, padded)
-            out = self.run(func)
-            return out["C"].reshape(heads, bsr.shape[0], feat)[:, : csr.rows]
-        raise ValueError(f"unknown batched-SpMM format {format!r}; use 'csr' or 'bsr'")
+        return self._execute(prepare_batched_spmm(
+            self, csr, features, format=format, block_size=block_size, tuned=tuned
+        ))
 
     def batched_sddmm(
         self,
@@ -588,47 +544,12 @@ class Session:
         Returns:
             Per-head edge scores in CSR order, shape ``(heads, nnz)``.
         """
-        from ..ops.batched import (
-            bsr_element_permutation,
-            build_batched_sddmm_bsr_program,
-            build_batched_sddmm_program,
-        )
+        from ..ops.registry import prepare_batched_sddmm
 
-        q = np.asarray(q, dtype=np.float32)
-        k = np.asarray(k, dtype=np.float32)
-        if q.ndim != 3 or k.ndim != 3:
-            raise ValueError("q and k must be 3-D (heads, ., .)")
-        heads, _, feat = q.shape
-        if tuned:
-            from ..tune.spaces import AttentionProblem
-
-            overrides = self._tuned_overrides(
-                "attention", AttentionProblem(csr, heads, feat)
-            )
-            format = overrides.get("format", format)
-            block_size = overrides.get("block_size", block_size)
-        if format == "csr":
-            func = build_batched_sddmm_program(
-                csr, heads, feat, q, k, fuse_ij=fuse_ij, scale=scale
-            )
-            out = self.run(func)
-            return out["OUT"].reshape(heads, csr.nnz)
-        if format == "bsr":
-            bsr = self.decompose_bsr(csr, block_size)
-            # The CSR-order permutation is a pure function of the (cached)
-            # block structure; memoise it so run-many calls skip the
-            # BSR-to-CSR conversion.
-            perm_key = _content_key("bsr_perm", csr.shape, csr.indptr, csr.indices, block_size)
-            perm = self._memoized_format(
-                perm_key, lambda: bsr_element_permutation(csr, bsr)
-            )
-            q_pad = _pad_axis(q, axis=1, length=bsr.shape[0])
-            k_pad = _pad_axis(k, axis=2, length=bsr.shape[1])
-            func = build_batched_sddmm_bsr_program(bsr, heads, feat, q_pad, k_pad, scale=scale)
-            out = self.run(func)
-            blocks = out["OUT"].reshape(heads, -1)
-            return blocks[:, perm]
-        raise ValueError(f"unknown batched-SDDMM format {format!r}; use 'csr' or 'bsr'")
+        return self._execute(prepare_batched_sddmm(
+            self, csr, q, k, format=format, block_size=block_size,
+            fuse_ij=fuse_ij, scale=scale, tuned=tuned,
+        ))
 
     def rgms(self, adjacency, x: np.ndarray, w: np.ndarray, tuned: bool = False) -> np.ndarray:
         """Relational gather-matmul-scatter over a CSF adjacency tensor.
@@ -650,15 +571,9 @@ class Session:
         Returns:
             Aggregated features, shape ``(n, d_out)``.
         """
-        from ..ops.rgms import build_rgms_program
+        from ..ops.registry import prepare_rgms
 
-        x = np.asarray(x, dtype=np.float32)
-        w = np.asarray(w, dtype=np.float32)
-        if x.ndim != 2 or w.ndim != 3:
-            raise ValueError("x must be (n, d_in) and w (R, d_in, d_out)")
-        func = build_rgms_program(adjacency, x.shape[1], w.shape[2], x, w)
-        out = self.run(func)
-        return out["Y"].reshape(adjacency.shape[1], w.shape[2])
+        return self._execute(prepare_rgms(self, adjacency, x, w, tuned=tuned))
 
     def sparse_conv(
         self, problem, features: np.ndarray, weights: np.ndarray, tuned: bool = False
@@ -678,11 +593,62 @@ class Session:
         Returns:
             Output voxel features, ``(num_out_points, out_channels)``.
         """
-        from ..ops.sparse_conv import build_sparse_conv_program
+        from ..ops.registry import prepare_sparse_conv
 
-        func = build_sparse_conv_program(problem, features, weights)
-        out = self.run(func)
-        return out["Y"].reshape(problem.num_out_points, problem.out_channels)
+        return self._execute(prepare_sparse_conv(self, problem, features, weights, tuned=tuned))
+
+    def edge_softmax(self, csr, scores: np.ndarray, dtype: Any = None) -> np.ndarray:
+        """Row-wise softmax over the stored edges, per head.
+
+        Args:
+            csr: The sparsity structure whose edges carry the scores.
+            scores: Per-head edge scores in CSR order, shape ``(heads, nnz)``.
+            dtype: Value dtype to compute in; ``None`` infers from ``scores``.
+
+        Returns:
+            The attention probabilities in CSR order, shape ``(heads, nnz)``.
+        """
+        from ..ops.registry import prepare_edge_softmax
+
+        return self._execute(prepare_edge_softmax(self, csr, scores, dtype=dtype))
+
+    def batched_spmm_edges(
+        self, csr, edge_values: np.ndarray, features: np.ndarray, dtype: Any = None
+    ) -> np.ndarray:
+        """Multi-head SpMM with per-head edge values (the attention consumer).
+
+        Args:
+            csr: The shared mask structure.
+            edge_values: Per-head edge values in CSR order, ``(heads, nnz)``.
+            features: Per-head dense operands, ``(heads, cols, feat)``.
+            dtype: Value dtype to compute in; ``None`` infers from operands.
+
+        Returns:
+            The per-head products, shape ``(heads, rows, feat)``.
+        """
+        from ..ops.registry import prepare_batched_spmm_edges
+
+        return self._execute(prepare_batched_spmm_edges(
+            self, csr, edge_values, features, dtype=dtype
+        ))
+
+    def gemm(self, a: np.ndarray, b: np.ndarray, dtype: Any = None) -> np.ndarray:
+        """Dense ``A @ B`` through the generated-kernel pipeline."""
+        from ..ops.registry import prepare_gemm
+
+        return self._execute(prepare_gemm(self, a, b, dtype=dtype))
+
+    def add(self, a: np.ndarray, b: np.ndarray, dtype: Any = None) -> np.ndarray:
+        """Element-wise ``A + B`` through the generated-kernel pipeline."""
+        from ..ops.registry import prepare_add
+
+        return self._execute(prepare_add(self, a, b, dtype=dtype))
+
+    def relu(self, a: np.ndarray, dtype: Any = None) -> np.ndarray:
+        """Element-wise ``max(A, 0)`` through the generated-kernel pipeline."""
+        from ..ops.registry import prepare_relu
+
+        return self._execute(prepare_relu(self, a, dtype=dtype))
 
     def __repr__(self) -> str:
         return f"Session(engine={self.engine!r}, stats={self.stats.as_dict()})"

@@ -98,3 +98,67 @@ def attention_inputs(
     k = rng.standard_normal(shape).astype(np.float32) / np.sqrt(config.head_dim)
     v = rng.standard_normal(shape).astype(np.float32)
     return q, k, v
+
+
+def capture_sparse_attention(
+    builder,
+    mask: CSRMatrix,
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    scale: Optional[float] = None,
+):
+    """Record the masked-attention chain on a graph builder.
+
+    The chain is the three sparse operators of Figure 16 — masked SDDMM
+    (``Q K^T`` on the stored entries), row-wise edge softmax, and SpMM with
+    the attention weights as per-head edge values — captured as graph inputs
+    ``q``/``k``/``v`` so the compiled graph reruns on new tensors.  All three
+    share the mask's sparsity structure, so they fuse into a single kernel.
+
+    ``q``, ``k`` and ``v`` are (heads, seq, head_dim); ``k`` is transposed to
+    the SDDMM's (heads, head_dim, seq) layout before capture, and feeds for
+    the ``k`` input must use that transposed layout too.  Returns the output
+    :class:`~repro.graph.TensorRef`.
+    """
+    q = np.asarray(q, dtype=np.float32)
+    k = np.asarray(k, dtype=np.float32)
+    v = np.asarray(v, dtype=np.float32)
+    if scale is None:
+        scale = 1.0 / float(np.sqrt(q.shape[-1]))
+    q_in = builder.input("q", q)
+    k_in = builder.input("k", np.ascontiguousarray(k.transpose(0, 2, 1)))
+    v_in = builder.input("v", v)
+    scores = builder.batched_sddmm(mask, q_in, k_in, scale=scale)
+    weights = builder.edge_softmax(mask, scores)
+    out = builder.batched_spmm_edges(mask, weights, v_in)
+    builder.output(out)
+    return out
+
+
+def sparse_attention_reference(
+    mask: CSRMatrix,
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    scale: Optional[float] = None,
+) -> np.ndarray:
+    """NumPy ground truth for the masked-attention chain.
+
+    Matches :func:`capture_sparse_attention` (softmax over the stored edges
+    only, no max-subtraction); ``q``/``k``/``v`` are (heads, seq, head_dim).
+    """
+    from ..ops.batched import (
+        batched_sddmm_reference,
+        batched_spmm_edges_reference,
+        edge_softmax_reference,
+    )
+
+    q = np.asarray(q, dtype=np.float32)
+    k = np.asarray(k, dtype=np.float32)
+    v = np.asarray(v, dtype=np.float32)
+    if scale is None:
+        scale = 1.0 / float(np.sqrt(q.shape[-1]))
+    scores = batched_sddmm_reference(mask, q, k.transpose(0, 2, 1)) * scale
+    weights = edge_softmax_reference(mask, scores.astype(np.float32))
+    return batched_spmm_edges_reference(mask, weights.astype(np.float32), v)
