@@ -252,6 +252,7 @@ def build(
     cache_obj = resolve_cache(cache)
     defaults = _collect_defaults(func)
     key: Optional[str] = None
+    flight = None
     if cache_obj is not None:
         key = structural_fingerprint(func, {"horizontal_fusion": horizontal_fusion})
         entry = cache_obj.get(key)
@@ -259,34 +260,49 @@ def build(
             return Kernel(
                 entry.lowered, stage2=entry.stage2, defaults=defaults, entry=entry
             )
+        # Cache miss: claim the single-flight slot, so concurrent builders of
+        # the same structure — threads of this process, or cold processes
+        # sharing the persistent layer — perform exactly one lowering.  A
+        # waiter that receives the finished entry skips lowering entirely.
+        flight = cache_obj.begin_flight(key)
+        if flight.entry is not None:
+            flight.done()
+            entry = flight.entry
+            return Kernel(
+                entry.lowered, stage2=entry.stage2, defaults=defaults, entry=entry
+            )
 
-    stage2: Optional[PrimFunc] = None
-    if func.stage == STAGE_COORDINATE:
-        func = lower_sparse_iterations(func)
-    if func.stage == STAGE_POSITION:
-        stage2 = func
-        func = lower_sparse_buffers(func)
-    if func.stage != STAGE_LOOP:
-        raise ValueError(f"cannot build program at stage {func.stage}")
-    if horizontal_fusion:
-        from .fusion import horizontal_fuse
-
-        func = horizontal_fuse(func)
-    # Aux buffers (indptr/indices) are materialised during lowering; include
-    # their data so cache hits on later identical builds can rebind them.
-    defaults.update(_collect_defaults(func))
-    if cache_obj is None or key is None:
-        return Kernel(func, stage2=stage2, defaults=defaults)
-
-    from .emit_numpy import UnsupportedForEmission, emit_numpy_source
-
-    func = _structural_copy(func)
-    stage2 = None if stage2 is None else _structural_copy(stage2)
-    cache_obj.stats.lowerings += 1
     try:
-        source: Optional[str] = emit_numpy_source(func)
-        cache_obj.stats.emissions += 1
-    except UnsupportedForEmission:
-        source = None
-    entry = cache_obj.put(key, func, stage2=stage2, source=source)
-    return Kernel(func, stage2=stage2, defaults=defaults, entry=entry)
+        stage2: Optional[PrimFunc] = None
+        if func.stage == STAGE_COORDINATE:
+            func = lower_sparse_iterations(func)
+        if func.stage == STAGE_POSITION:
+            stage2 = func
+            func = lower_sparse_buffers(func)
+        if func.stage != STAGE_LOOP:
+            raise ValueError(f"cannot build program at stage {func.stage}")
+        if horizontal_fusion:
+            from .fusion import horizontal_fuse
+
+            func = horizontal_fuse(func)
+        # Aux buffers (indptr/indices) are materialised during lowering;
+        # include their data so cache hits on later builds can rebind them.
+        defaults.update(_collect_defaults(func))
+        if cache_obj is None or key is None:
+            return Kernel(func, stage2=stage2, defaults=defaults)
+
+        from .emit_numpy import UnsupportedForEmission, emit_numpy_source
+
+        func = _structural_copy(func)
+        stage2 = None if stage2 is None else _structural_copy(stage2)
+        cache_obj.stats.lowerings += 1
+        try:
+            source: Optional[str] = emit_numpy_source(func)
+            cache_obj.stats.emissions += 1
+        except UnsupportedForEmission:
+            source = None
+        entry = cache_obj.put(key, func, stage2=stage2, source=source)
+        return Kernel(func, stage2=stage2, defaults=defaults, entry=entry)
+    finally:
+        if flight is not None:
+            flight.done()

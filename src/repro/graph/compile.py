@@ -25,6 +25,7 @@ caller) still need, and drops intermediates as soon as liveness allows.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
@@ -121,6 +122,9 @@ class CompiledGraph:
         self.units: List[_ExecUnit] = []
         #: lazily built per-unit buffer reuse state (False marks unavailable).
         self._states: Dict[int, Any] = {}
+        #: Fused units reuse their flat buffers across calls, so concurrent
+        #: ``run()`` calls (the serving front-end) must serialise here.
+        self._run_lock = threading.Lock()
         index_of = {node.id: i for i, node in enumerate(graph.nodes)}
         for group in plan_groups(graph, fuse=fuse):
             unit = None
@@ -275,7 +279,16 @@ class CompiledGraph:
 
         ``feeds`` overrides (or provides) graph inputs by name; inputs
         captured from concrete arrays fall back to those defaults.
+
+        Thread-safe: runs are serialised by an internal lock (fused units
+        reuse their flat buffers across calls), so a serving front-end can
+        share one compiled graph between the batcher thread and degraded
+        inline callers.
         """
+        with self._run_lock:
+            return self._run_locked(feeds)
+
+    def _run_locked(self, feeds: Optional[Mapping[str, np.ndarray]] = None) -> Dict[str, np.ndarray]:
         env: Dict[str, np.ndarray] = dict(self.graph.defaults)
         if feeds:
             for name, value in feeds.items():

@@ -70,6 +70,7 @@ def batched_spmm(
     *,
     session=None,
     tuned: bool = False,
+    dtype=None,
 ) -> np.ndarray:
     """Execute the multi-head SpMM through the pipeline and NumPy runtime.
 
@@ -78,6 +79,8 @@ def batched_spmm(
         features: Per-head dense operands of shape ``(heads, cols, feat)``.
         format: ``"csr"`` (scalar program) or ``"bsr"`` (block program).
         block_size: BSR block size when ``format="bsr"``.
+        dtype: Value dtype (``float32``/``float64``); ``None`` infers from
+            the operands (CSR format only — BSR computes in float32).
         session: Optional explicit :class:`~repro.runtime.session.Session`.
         tuned: Apply the ``attention`` tuning record for this mask/shape.
 
@@ -88,7 +91,7 @@ def batched_spmm(
 
     session = session or get_default_session()
     return session.batched_spmm(
-        csr, features, format=format, block_size=block_size, tuned=tuned
+        csr, features, format=format, block_size=block_size, dtype=dtype, tuned=tuned
     )
 
 
@@ -103,6 +106,7 @@ def batched_sddmm(
     *,
     session=None,
     tuned: bool = False,
+    dtype=None,
 ) -> np.ndarray:
     """Execute the multi-head SDDMM through the pipeline and NumPy runtime.
 
@@ -114,6 +118,8 @@ def batched_sddmm(
         block_size: BSR block size when ``format="bsr"``.
         scale: Optional post-scaling factor (e.g. ``1/sqrt(d)``) applied by a
             separate pointwise iteration.
+        dtype: Value dtype (``float32``/``float64``); ``None`` infers from
+            the operands (CSR format only — BSR computes in float32).
         session: Optional explicit :class:`~repro.runtime.session.Session`.
         tuned: Apply the ``attention`` tuning record for this mask/shape.
 
@@ -124,7 +130,8 @@ def batched_sddmm(
 
     session = session or get_default_session()
     return session.batched_sddmm(
-        csr, q, k, format=format, block_size=block_size, scale=scale, tuned=tuned
+        csr, q, k, format=format, block_size=block_size, scale=scale,
+        dtype=dtype, tuned=tuned,
     )
 
 
@@ -137,6 +144,7 @@ def build_batched_spmm_program(
     num_heads: int,
     feat_size: int,
     features: Optional[np.ndarray] = None,
+    dtype: str = "float32",
 ) -> PrimFunc:
     """The CSR multi-head SpMM program: Figure 3 plus a leading batch axis.
 
@@ -146,7 +154,7 @@ def build_batched_spmm_program(
     heads, matching the attention masks of Section 4.3.1.
     """
     ctx = EmitContext(ProgramBuilder("batched_spmm"))
-    emit_batched_spmm(ctx, csr, num_heads, feat_size, features)
+    emit_batched_spmm(ctx, csr, num_heads, feat_size, features, dtype=dtype)
     return ctx.builder.finish()
 
 
@@ -156,6 +164,7 @@ def emit_batched_spmm(
     num_heads: int,
     feat_size: int,
     features: Optional[np.ndarray] = None,
+    dtype: str = "float32",
     bind: Optional[Dict[str, SparseBuffer]] = None,
 ) -> Dict[str, SparseBuffer]:
     """Append the multi-head SpMM iteration; ``bind`` may supply ``features``."""
@@ -166,13 +175,13 @@ def emit_batched_spmm(
     if b_buf is None:
         j_dense = ctx.dense_fixed("J_", csr.cols)
     k_axis = ctx.dense_fixed("K", feat_size)
-    a_buf = ctx.buffer("A", [i_axis, j_axis], data=csr.data)
+    a_buf = ctx.buffer("A", [i_axis, j_axis], dtype=dtype, data=csr.data)
     if b_buf is None:
         b_buf = ctx.buffer(
-            "B", [h_axis, j_dense, k_axis],
-            data=None if features is None else np.asarray(features, dtype=np.float32).reshape(-1),
+            "B", [h_axis, j_dense, k_axis], dtype=dtype,
+            data=None if features is None else np.asarray(features, dtype=dtype).reshape(-1),
         )
-    c_buf = ctx.buffer("C", [h_axis, i_axis, k_axis])
+    c_buf = ctx.buffer("C", [h_axis, i_axis, k_axis], dtype=dtype)
     with ctx.sp_iter([h_axis, i_axis, j_axis, k_axis], "SSRS", "batched_spmm") as (h, i, j, k):
         ctx.init(c_buf[h, i, k], 0.0)
         ctx.compute(c_buf[h, i, k], c_buf[h, i, k] + a_buf[i, j] * b_buf[h, j, k])
@@ -230,6 +239,7 @@ def build_batched_sddmm_program(
     k: Optional[np.ndarray] = None,
     fuse_ij: bool = True,
     scale: Optional[float] = None,
+    dtype: str = "float32",
 ) -> PrimFunc:
     """The batched SDDMM program over the shared mask.
 
@@ -240,7 +250,9 @@ def build_batched_sddmm_program(
     the vectorized executor runs as an in-place ``multiply.at`` reduction.
     """
     ctx = EmitContext(ProgramBuilder("batched_sddmm"))
-    emit_batched_sddmm(ctx, csr, num_heads, feat_size, q, k, fuse_ij=fuse_ij, scale=scale)
+    emit_batched_sddmm(
+        ctx, csr, num_heads, feat_size, q, k, fuse_ij=fuse_ij, scale=scale, dtype=dtype
+    )
     return ctx.builder.finish()
 
 
@@ -253,6 +265,7 @@ def emit_batched_sddmm(
     k: Optional[np.ndarray] = None,
     fuse_ij: bool = True,
     scale: Optional[float] = None,
+    dtype: str = "float32",
     bind: Optional[Dict[str, SparseBuffer]] = None,
 ) -> Dict[str, SparseBuffer]:
     """Append the batched SDDMM iterations; ``bind`` may supply ``q``/``k``."""
@@ -266,17 +279,17 @@ def emit_batched_sddmm(
     if k_buf is None:
         j_dense = ctx.dense_fixed("J_", csr.cols)
     k_axis = ctx.dense_fixed("K", feat_size)
-    a_buf = ctx.buffer("A", [i_axis, j_axis], data=csr.data)
-    out_buf = ctx.buffer("OUT", [h_axis, i_axis, j_axis])
+    a_buf = ctx.buffer("A", [i_axis, j_axis], dtype=dtype, data=csr.data)
+    out_buf = ctx.buffer("OUT", [h_axis, i_axis, j_axis], dtype=dtype)
     if q_buf is None:
         q_buf = ctx.buffer(
-            "Q", [h_axis, i_dense, k_axis],
-            data=None if q is None else np.asarray(q, dtype=np.float32).reshape(-1),
+            "Q", [h_axis, i_dense, k_axis], dtype=dtype,
+            data=None if q is None else np.asarray(q, dtype=dtype).reshape(-1),
         )
     if k_buf is None:
         k_buf = ctx.buffer(
-            "Kv", [h_axis, k_axis, j_dense],
-            data=None if k is None else np.asarray(k, dtype=np.float32).reshape(-1),
+            "Kv", [h_axis, k_axis, j_dense], dtype=dtype,
+            data=None if k is None else np.asarray(k, dtype=dtype).reshape(-1),
         )
     axes = (
         [h_axis, fuse(i_axis, j_axis), k_axis] if fuse_ij

@@ -224,9 +224,14 @@ def prepare_batched_spmm(
     features: Any,
     format: str = "csr",
     block_size: int = 16,
+    dtype: Any = None,
     tuned: bool = False,
 ) -> OpSpec:
-    features = _as_value(features, "float32")
+    # ``None`` keeps the historical float32 default (batched attention is a
+    # float32 workload) rather than promoting — explicit float64 callers
+    # (e.g. coalesced float64 serving requests) must opt in.
+    value_dtype = "float32" if dtype is None else resolve_dtype(features, dtype)
+    features = _as_value(features, value_dtype)
     if len(features.shape) != 3:
         raise ValueError("features must be (heads, cols, feat)")
     heads, cols, feat = features.shape
@@ -242,8 +247,13 @@ def prepare_batched_spmm(
         return OpSpec(
             kind="batched_spmm", structure=csr, structure_key=csr_structure_key(csr),
             params={"heads": heads, "feat_size": feat, "rows": csr.rows},
-            inputs={"features": features}, dtype="float32",
+            inputs={"features": features}, dtype=value_dtype,
             out_shape=(heads, csr.rows, feat), fusable=True, program_name="batched_spmm",
+        )
+    if value_dtype != "float32":
+        raise ValueError(
+            f"batched_spmm over {format!r} computes in float32 only; "
+            "use format='csr' for float64"
         )
     if format == "bsr":
         if _is_ref(features):
@@ -275,10 +285,13 @@ def prepare_batched_sddmm(
     block_size: int = 16,
     fuse_ij: bool = True,
     scale: Optional[float] = None,
+    dtype: Any = None,
     tuned: bool = False,
 ) -> OpSpec:
-    q = _as_value(q, "float32")
-    k = _as_value(k, "float32")
+    # ``None`` keeps the historical float32 default, as in prepare_batched_spmm.
+    value_dtype = "float32" if dtype is None else resolve_dtype((q, k), dtype)
+    q = _as_value(q, value_dtype)
+    k = _as_value(k, value_dtype)
     if len(q.shape) != 3 or len(k.shape) != 3:
         raise ValueError("q and k must be 3-D (heads, ., .)")
     heads, _, feat = q.shape
@@ -295,8 +308,13 @@ def prepare_batched_sddmm(
                 "heads": heads, "feat_size": feat,
                 "fuse_ij": fuse_ij, "scale": scale, "nnz": csr.nnz,
             },
-            inputs={"q": q, "k": k}, dtype="float32",
+            inputs={"q": q, "k": k}, dtype=value_dtype,
             out_shape=(heads, csr.nnz), fusable=True, program_name="batched_sddmm",
+        )
+    if value_dtype != "float32":
+        raise ValueError(
+            f"batched_sddmm over {format!r} computes in float32 only; "
+            "use format='csr' for float64"
         )
     if format == "bsr":
         if _is_ref(q) or _is_ref(k):
@@ -496,13 +514,13 @@ def emit_spec(
     if kind == "batched_spmm":
         return emit_batched_spmm(
             ctx, spec.structure, p["heads"], p["feat_size"],
-            spec.input_array("features"), bind=bind,
+            spec.input_array("features"), dtype=spec.dtype, bind=bind,
         )
     if kind == "batched_sddmm":
         return emit_batched_sddmm(
             ctx, spec.structure, p["heads"], p["feat_size"],
             spec.input_array("q"), spec.input_array("k"),
-            fuse_ij=p["fuse_ij"], scale=p["scale"], bind=bind,
+            fuse_ij=p["fuse_ij"], scale=p["scale"], dtype=spec.dtype, bind=bind,
         )
     if kind == "rgms":
         return emit_rgms(

@@ -39,6 +39,7 @@ Example:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional
@@ -176,6 +177,7 @@ class Session:
         self.stats = SessionStats()
         self.format_cache_capacity = int(format_cache_capacity)
         self._formats: "OrderedDict[str, Any]" = OrderedDict()
+        self._format_lock = threading.Lock()
         self._tuning_records_arg = tuning_records
         self._tuning_store: Any = _UNRESOLVED
         self._tuned: Dict[str, Any] = {}
@@ -358,17 +360,25 @@ class Session:
 
     # -- format decomposition --------------------------------------------------
     def _memoized_format(self, key: str, build_entry):
-        """LRU-memoise one derived-format entry, tracking hit/miss stats."""
-        hit = self._formats.get(key)
-        if hit is not None:
-            self._formats.move_to_end(key)
-            self.stats.format_cache_hits += 1
-            return hit
-        self.stats.format_cache_misses += 1
+        """LRU-memoise one derived-format entry, tracking hit/miss stats.
+
+        The lock covers only the LRU bookkeeping (serving runs sessions from
+        several threads); ``build_entry`` itself runs outside it, so two
+        threads may race to build the same decomposition — both results are
+        equivalent and the second store wins harmlessly.
+        """
+        with self._format_lock:
+            hit = self._formats.get(key)
+            if hit is not None:
+                self._formats.move_to_end(key)
+                self.stats.format_cache_hits += 1
+                return hit
+            self.stats.format_cache_misses += 1
         entry = build_entry()
-        self._formats[key] = entry
-        while len(self._formats) > self.format_cache_capacity:
-            self._formats.popitem(last=False)
+        with self._format_lock:
+            self._formats[key] = entry
+            while len(self._formats) > self.format_cache_capacity:
+                self._formats.popitem(last=False)
         return entry
 
     def decompose_hyb(self, csr, num_col_parts: int = 1, num_buckets: Optional[int] = None):
@@ -487,6 +497,7 @@ class Session:
         features: np.ndarray,
         format: str = "csr",
         block_size: int = 16,
+        dtype: Any = None,
         tuned: bool = False,
     ) -> np.ndarray:
         """Multi-head SpMM ``O[h] = A @ X[h]`` with a shared sparse mask.
@@ -501,6 +512,11 @@ class Session:
             format: ``"csr"`` for the scalar program, ``"bsr"`` for the
                 block program over the cached BSR decomposition.
             block_size: BSR block size (``format="bsr"`` only).
+            dtype: Value dtype (``float32``/``float64``).  ``None`` keeps
+                the historical float32 default; an explicit ``float64``
+                (CSR format only) makes the whole kernel — and its cache
+                fingerprint — double precision, which is what lets the
+                serving batcher coalesce float64 requests bit-exactly.
             tuned: Apply the ``attention`` tuning record for this mask and
                 shape (overrides ``format`` / ``block_size``).
 
@@ -510,7 +526,8 @@ class Session:
         from ..ops.registry import prepare_batched_spmm
 
         return self._execute(prepare_batched_spmm(
-            self, csr, features, format=format, block_size=block_size, tuned=tuned
+            self, csr, features, format=format, block_size=block_size,
+            dtype=dtype, tuned=tuned,
         ))
 
     def batched_sddmm(
@@ -522,6 +539,7 @@ class Session:
         block_size: int = 16,
         fuse_ij: bool = True,
         scale: Optional[float] = None,
+        dtype: Any = None,
         tuned: bool = False,
     ) -> np.ndarray:
         """Multi-head SDDMM ``S[h] = (Q[h] @ K[h]) * mask`` at the mask's nnz.
@@ -538,6 +556,9 @@ class Session:
                 (``format="csr"`` only).
             scale: Optional score scaling (e.g. ``1/sqrt(d)``) applied by a
                 pointwise rescaling iteration inside the same kernel.
+            dtype: Value dtype (``float32``/``float64``).  ``None`` keeps
+                the historical float32 default; explicit ``float64`` is
+                CSR-format only (see :meth:`batched_spmm`).
             tuned: Apply the ``attention`` tuning record for this mask and
                 shape (overrides ``format`` / ``block_size``).
 
@@ -548,7 +569,7 @@ class Session:
 
         return self._execute(prepare_batched_sddmm(
             self, csr, q, k, format=format, block_size=block_size,
-            fuse_ij=fuse_ij, scale=scale, tuned=tuned,
+            fuse_ij=fuse_ij, scale=scale, dtype=dtype, tuned=tuned,
         ))
 
     def rgms(self, adjacency, x: np.ndarray, w: np.ndarray, tuned: bool = False) -> np.ndarray:

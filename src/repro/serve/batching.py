@@ -1,0 +1,296 @@
+"""Request fingerprinting and same-structure coalescing.
+
+The serving front-end turns every incoming operator call into a
+:class:`ServeRequest` carrying a *serving fingerprint*: a content hash of
+everything that must be identical for two requests to share one batched
+kernel launch — the sparse structure (``indptr``/``indices``), the shared
+edge values (``data``), the feature width and the value dtype.  Requests
+with equal fingerprints multiply the *same* matrix, so ``N`` concurrent
+``spmm(A, x_i)`` calls collapse into one ``batched_spmm(A, stack(x_i))``
+whose head axis is the batch axis; the multi-head kernel accumulates every
+``(head, row, feat)`` lane in the same j-order as the single-head program,
+which is what makes coalesced results *bit-exact* with sequential eager
+execution (asserted by ``tests/test_serving_differential.py``).
+
+:func:`coalesce` groups a drained queue FIFO-by-fingerprint under two caps:
+``max_batch`` (head-axis length) and ``max_lanes`` (total ``nnz x feat``
+lanes per launch — beyond the cache working set, batching loses to eager,
+so the batcher refuses to build such launches).  :func:`run_group` executes
+one group and resolves its futures, degrading to per-request eager
+execution if the batched launch itself fails.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..runtime.keys import content_key, resolve_dtype
+
+#: Default cap on the coalesced head axis.
+DEFAULT_MAX_BATCH = 16
+
+#: Default cap on total lanes (``batch * nnz * feat``) per coalesced launch.
+#: Past roughly this working set the vectorized multi-head kernel stops
+#: beating sequential eager execution (cache-capacity crossover), so larger
+#: groups are chunked rather than batched blindly.
+DEFAULT_MAX_LANES = 1_500_000
+
+
+def _csr_content_key(csr) -> str:
+    """Content hash of a CSR matrix (structure + values), memoized.
+
+    Hashing ``indptr``/``indices``/``data`` costs ~nnz work per call, which
+    would dominate the serving fast path if paid per request; matrices are
+    immutable by convention throughout the codebase, so the hash is computed
+    once and cached on the object.
+    """
+    cached = getattr(csr, "_serve_content_key", None)
+    if cached is None:
+        cached = content_key(csr.shape, csr.indptr, csr.indices, csr.data)
+        try:
+            csr._serve_content_key = cached
+        except AttributeError:  # pragma: no cover - slotted/frozen matrix types
+            pass
+    return cached
+
+
+@dataclass
+class ServeRequest:
+    """One queued operator invocation.
+
+    ``payload`` holds the operator inputs keyed by name; ``fingerprint``
+    groups batchable requests; ``lanes`` is the per-request lane footprint
+    used by the batcher's lane budget; ``future`` receives the result (or
+    exception).  ``degraded`` is stamped by whichever fallback path executed
+    the request (``"eager"`` / ``"inline"``), ``None`` for the happy path.
+    """
+
+    kind: str
+    tenant: str
+    payload: Dict[str, Any]
+    fingerprint: str
+    batchable: bool
+    lanes: int
+    future: Future = field(default_factory=Future)
+    submitted_at: float = field(default_factory=time.monotonic)
+    degraded: Optional[str] = None
+
+
+def make_spmm_request(
+    csr,
+    features: np.ndarray,
+    dtype: Any = None,
+    tenant: str = "default",
+) -> ServeRequest:
+    """Wrap one ``A @ X`` call as a batchable serving request.
+
+    The dtype is resolved eagerly (float64 features select a float64
+    kernel) so requests that would compile different programs never share a
+    fingerprint.  ``csr.data`` is part of the fingerprint: the batched
+    kernel shares one value array across the whole group, so only requests
+    against the *same* weighted matrix may coalesce.
+    """
+    features = np.asarray(features)
+    if features.ndim != 2:
+        raise ValueError(f"spmm features must be 2-D, got shape {features.shape}")
+    value_dtype = resolve_dtype(features, dtype)
+    feat = int(features.shape[1])
+    fingerprint = content_key("serve/spmm", _csr_content_key(csr), feat, value_dtype)
+    return ServeRequest(
+        kind="spmm",
+        tenant=tenant,
+        payload={"csr": csr, "features": features, "dtype": value_dtype},
+        fingerprint=fingerprint,
+        batchable=True,
+        lanes=csr.nnz * max(feat, 1),
+    )
+
+
+def make_sddmm_request(
+    csr,
+    x: np.ndarray,
+    y: np.ndarray,
+    dtype: Any = None,
+    tenant: str = "default",
+) -> ServeRequest:
+    """Wrap one SDDMM call as a batchable serving request.
+
+    ``N`` same-structure requests coalesce into one ``batched_sddmm`` whose
+    head axis stacks the per-request ``(x, y)`` operand pairs.
+    """
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if x.ndim != 2 or y.ndim != 2:
+        raise ValueError("sddmm operands must be 2-D")
+    value_dtype = resolve_dtype((x, y), dtype)
+    feat = int(x.shape[1])
+    fingerprint = content_key("serve/sddmm", _csr_content_key(csr), feat, value_dtype)
+    return ServeRequest(
+        kind="sddmm",
+        tenant=tenant,
+        payload={"csr": csr, "x": x, "y": y, "dtype": value_dtype},
+        fingerprint=fingerprint,
+        batchable=True,
+        lanes=csr.nnz * max(feat, 1),
+    )
+
+
+def make_call_request(
+    fn: Callable[..., Any],
+    args: Sequence[Any] = (),
+    kwargs: Optional[Dict[str, Any]] = None,
+    tenant: str = "default",
+) -> ServeRequest:
+    """Wrap an arbitrary callable as a non-batchable (eager) request.
+
+    Used for work the batcher cannot coalesce — e.g. running a compiled
+    graph — while still flowing through the queue, stats and degradation
+    machinery.
+    """
+    return ServeRequest(
+        kind="call",
+        tenant=tenant,
+        payload={"fn": fn, "args": tuple(args), "kwargs": dict(kwargs or {})},
+        fingerprint=content_key("serve/call", id(fn)),
+        batchable=False,
+        lanes=0,
+    )
+
+
+def coalesce(
+    requests: Sequence[ServeRequest],
+    max_batch: int = DEFAULT_MAX_BATCH,
+    max_lanes: int = DEFAULT_MAX_LANES,
+) -> List[List[ServeRequest]]:
+    """Group a drained queue into coalesced launch groups.
+
+    Requests are grouped by fingerprint in FIFO order of first arrival, and
+    each fingerprint's run is chunked so that no group exceeds ``max_batch``
+    requests or ``max_lanes`` total lanes (a single over-budget request
+    still gets its own singleton group — the caps chunk, they never drop).
+    Non-batchable requests always form singleton groups.
+    """
+    if max_batch <= 0:
+        raise ValueError("max_batch must be positive")
+    groups: List[List[ServeRequest]] = []
+    open_group: Dict[str, int] = {}  # fingerprint -> index into groups
+    open_lanes: Dict[str, int] = {}
+    for request in requests:
+        if not request.batchable:
+            groups.append([request])
+            continue
+        index = open_group.get(request.fingerprint)
+        if index is not None:
+            group = groups[index]
+            if (
+                len(group) < max_batch
+                and open_lanes[request.fingerprint] + request.lanes <= max_lanes
+            ):
+                group.append(request)
+                open_lanes[request.fingerprint] += request.lanes
+                continue
+        # Start a new chunk for this fingerprint (or the first one).
+        open_group[request.fingerprint] = len(groups)
+        open_lanes[request.fingerprint] = request.lanes
+        groups.append([request])
+    return groups
+
+
+def execute_eager(session, request: ServeRequest) -> Any:
+    """Execute one request on its own (no coalescing)."""
+    payload = request.payload
+    if request.kind == "spmm":
+        return session.spmm(
+            payload["csr"], payload["features"], dtype=payload["dtype"]
+        )
+    if request.kind == "sddmm":
+        return session.sddmm(
+            payload["csr"], payload["x"], payload["y"], dtype=payload["dtype"]
+        )
+    if request.kind == "call":
+        return payload["fn"](*payload["args"], **payload["kwargs"])
+    raise ValueError(f"unknown request kind {request.kind!r}")
+
+
+def _execute_batched(session, group: List[ServeRequest]) -> List[np.ndarray]:
+    """One coalesced launch for a same-fingerprint group of size > 1."""
+    kind = group[0].kind
+    csr = group[0].payload["csr"]
+    dtype = group[0].payload["dtype"]
+    if kind == "spmm":
+        stacked = np.stack([req.payload["features"] for req in group])
+        out = session.batched_spmm(csr, stacked, dtype=dtype)
+    elif kind == "sddmm":
+        q = np.stack([req.payload["x"] for req in group])
+        k = np.stack(
+            [np.ascontiguousarray(req.payload["y"]) for req in group]
+        )
+        out = session.batched_sddmm(csr, q, k, dtype=dtype)
+    else:  # pragma: no cover - coalesce() only batches spmm/sddmm
+        raise ValueError(f"kind {kind!r} cannot be batched")
+    # Contiguous copies: handing out views of `out` would pin the whole
+    # batch array alive for as long as any single caller keeps its result.
+    return [np.ascontiguousarray(out[i]) for i in range(len(group))]
+
+
+def _resolve(request: ServeRequest, result: Any) -> None:
+    if request.future.set_running_or_notify_cancel():
+        request.future.set_result(result)
+
+
+def _fail(request: ServeRequest, exc: BaseException) -> None:
+    if request.future.set_running_or_notify_cancel():
+        request.future.set_exception(exc)
+
+
+def run_group(session, group: List[ServeRequest], stats=None) -> None:
+    """Execute one coalesced group and resolve its futures.
+
+    Groups of size > 1 run as a single batched launch; if that launch
+    raises, every member falls back to eager execution individually
+    (``degraded="eager"``), so one poisoned request cannot take down its
+    batch-mates.  Per-request latency, batch occupancy and the group's
+    kernel-cache attribution are recorded into *stats* when given.
+    """
+    size = len(group)
+    hits_before = session.stats.kernel_cache_hits
+    results: Optional[List[Any]] = None
+    batch_error: Optional[BaseException] = None
+    if size > 1:
+        try:
+            results = _execute_batched(session, group)
+        except Exception as exc:  # degrade to per-request eager execution
+            batch_error = exc
+            for request in group:
+                request.degraded = "eager"
+    if results is None:
+        results = []
+        for request in group:
+            try:
+                results.append(execute_eager(session, request))
+            except Exception as exc:
+                results.append(exc)
+    cache_hit = session.stats.kernel_cache_hits > hits_before
+    if stats is not None and size > 1 and batch_error is None:
+        stats.record_batch((req.tenant for req in group), size)
+    now = time.monotonic()
+    for request, result in zip(group, results):
+        failed = isinstance(result, BaseException)
+        if stats is not None:
+            stats.record_request(
+                request.tenant,
+                now - request.submitted_at,
+                batch_size=size if batch_error is None else 1,
+                cache_hit=cache_hit,
+                degraded=request.degraded,
+                error=failed,
+            )
+        if failed:
+            _fail(request, result)
+        else:
+            _resolve(request, result)

@@ -1,0 +1,278 @@
+"""The async serving front-end: bounded queue + coalescing batcher thread.
+
+:class:`Server` accepts concurrent operator requests from any number of
+threads (or an asyncio event loop via the ``*_async`` helpers), parks them
+on a bounded queue, and drains the queue from a single daemon batcher
+thread.  Each drain *lingers* briefly (``linger_s``) so that a burst of
+same-fingerprint requests lands in one drain, then hands the batch to
+:func:`~repro.serve.batching.coalesce` / ``run_group``: same-structure
+requests execute as one ``batched_spmm`` / ``batched_sddmm`` launch, and
+every caller's :class:`~concurrent.futures.Future` resolves with a result
+bit-exact to sequential eager execution.
+
+Degradation ladder (each rung stamped into :class:`ServingStats`):
+
+1. **coalesced** — the happy path, one launch per same-fingerprint group;
+2. **eager** — a failed batched launch re-runs each member individually, so
+   one poisoned request cannot fail its batch-mates;
+3. **inline** — a saturated queue (``saturation="inline"``, the default)
+   executes the request on the caller's thread instead of blocking or
+   dropping it; :meth:`Server.close` drains stragglers the same way.
+
+The server never wedges: every submitted request's future resolves with a
+result or an exception.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from .batching import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_LANES,
+    ServeRequest,
+    coalesce,
+    make_call_request,
+    make_sddmm_request,
+    make_spmm_request,
+    run_group,
+)
+from .stats import DEFAULT_RESERVOIR, ServingStats
+
+#: Queue sentinel that tells the batcher thread to exit.
+_SHUTDOWN = object()
+
+
+class ServerSaturated(RuntimeError):
+    """Raised (via the future) when the queue is full and saturation="reject"."""
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of the serving front-end.
+
+    ``linger_s`` trades latency for occupancy: the batcher waits this long
+    after the first dequeued request for more work to coalesce with.
+    ``saturation`` selects the full-queue policy: ``"inline"`` (default)
+    executes on the caller's thread, ``"block"`` applies backpressure,
+    ``"reject"`` fails the future with :class:`ServerSaturated`.
+    """
+
+    max_batch: int = DEFAULT_MAX_BATCH
+    max_batch_lanes: int = DEFAULT_MAX_LANES
+    queue_capacity: int = 1024
+    linger_s: float = 0.002
+    poll_s: float = 0.05
+    saturation: str = "inline"
+    reservoir: int = DEFAULT_RESERVOIR
+
+    def __post_init__(self) -> None:
+        if self.saturation not in ("inline", "block", "reject"):
+            raise ValueError(f"unknown saturation policy {self.saturation!r}")
+        if self.queue_capacity <= 0:
+            raise ValueError("queue_capacity must be positive")
+
+
+class Server:
+    """Async request front-end over one :class:`~repro.runtime.session.Session`.
+
+    Thread-safe: any thread may submit; all coalesced execution happens on
+    the internal batcher thread (the session's operator path is protected
+    against the residual concurrency of inline fallbacks by the session's
+    own locks).  Use as a context manager, or call :meth:`close`.
+    """
+
+    def __init__(self, session=None, config: Optional[ServerConfig] = None):
+        if session is None:
+            from ..runtime.session import Session
+
+            session = Session()
+        self.session = session
+        self.config = config or ServerConfig()
+        self.stats = ServingStats(self.config.reservoir)
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.config.queue_capacity)
+        self._closed = False
+        self._inflight = 0
+        self._idle = threading.Condition()
+        self._thread = threading.Thread(
+            target=self._loop, daemon=True, name="repro-serve-batcher"
+        )
+        self._thread.start()
+
+    # -- submission ------------------------------------------------------------
+    def submit(self, request: ServeRequest):
+        """Enqueue a request; returns its :class:`~concurrent.futures.Future`.
+
+        Applies the configured saturation policy when the queue is full.
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        self._begin(1)
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            policy = self.config.saturation
+            if policy == "block":
+                self._queue.put(request)
+            elif policy == "reject":
+                try:
+                    exc = ServerSaturated(
+                        f"queue full ({self.config.queue_capacity}); request rejected"
+                    )
+                    self.stats.record_request(
+                        request.tenant,
+                        time.monotonic() - request.submitted_at,
+                        error=True,
+                    )
+                    if request.future.set_running_or_notify_cancel():
+                        request.future.set_exception(exc)
+                finally:
+                    self._done(1)
+            else:  # inline: execute on the caller's thread
+                request.degraded = "inline"
+                try:
+                    run_group(self.session, [request], self.stats)
+                finally:
+                    self._done(1)
+        return request.future
+
+    def spmm(self, csr, features: np.ndarray, dtype: Any = None, tenant: str = "default"):
+        """Submit ``A @ X``; coalesces with same-structure requests."""
+        return self.submit(make_spmm_request(csr, features, dtype=dtype, tenant=tenant))
+
+    def sddmm(
+        self,
+        csr,
+        x: np.ndarray,
+        y: np.ndarray,
+        dtype: Any = None,
+        tenant: str = "default",
+    ):
+        """Submit an SDDMM; coalesces with same-structure requests."""
+        return self.submit(make_sddmm_request(csr, x, y, dtype=dtype, tenant=tenant))
+
+    def call(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        tenant: str = "default",
+        **kwargs: Any,
+    ):
+        """Submit an arbitrary callable (e.g. a compiled graph run) eagerly."""
+        return self.submit(make_call_request(fn, args, kwargs, tenant=tenant))
+
+    async def spmm_async(
+        self, csr, features: np.ndarray, dtype: Any = None, tenant: str = "default"
+    ):
+        """``await``-able :meth:`spmm` for asyncio front-ends."""
+        return await asyncio.wrap_future(self.spmm(csr, features, dtype=dtype, tenant=tenant))
+
+    async def sddmm_async(
+        self,
+        csr,
+        x: np.ndarray,
+        y: np.ndarray,
+        dtype: Any = None,
+        tenant: str = "default",
+    ):
+        """``await``-able :meth:`sddmm` for asyncio front-ends."""
+        return await asyncio.wrap_future(
+            self.sddmm(csr, x, y, dtype=dtype, tenant=tenant)
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted request has resolved.
+
+        Returns ``False`` if *timeout* elapsed with work still in flight.
+        """
+        with self._idle:
+            return self._idle.wait_for(lambda: self._inflight == 0, timeout)
+
+    def close(self) -> None:
+        """Stop accepting work, join the batcher, drain stragglers inline."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_SHUTDOWN)
+        self._thread.join(timeout=30.0)
+        # Safety net: anything still queued (e.g. enqueued by a "block"
+        # producer racing close) resolves inline so no future is orphaned.
+        while True:
+            try:
+                leftover = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if leftover is _SHUTDOWN:
+                continue
+            leftover.degraded = "inline"
+            try:
+                run_group(self.session, [leftover], self.stats)
+            finally:
+                self._done(1)
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- internals ------------------------------------------------------------
+    def _begin(self, n: int) -> None:
+        with self._idle:
+            self._inflight += n
+
+    def _done(self, n: int) -> None:
+        with self._idle:
+            self._inflight -= n
+            if self._inflight <= 0:
+                self._idle.notify_all()
+
+    def _loop(self) -> None:
+        cfg = self.config
+        stop = False
+        while not stop:
+            try:
+                first = self._queue.get(timeout=cfg.poll_s)
+            except queue.Empty:
+                if self._closed:
+                    break
+                continue
+            if first is _SHUTDOWN:
+                break
+            batch = [first]
+            # Linger: give a concurrent burst time to land in this drain so
+            # same-fingerprint requests coalesce instead of trickling
+            # through one-by-one.
+            deadline = time.monotonic() + cfg.linger_s
+            while len(batch) < cfg.queue_capacity:
+                remaining = deadline - time.monotonic()
+                try:
+                    item = (
+                        self._queue.get(timeout=remaining)
+                        if remaining > 0
+                        else self._queue.get_nowait()
+                    )
+                except queue.Empty:
+                    break
+                if item is _SHUTDOWN:
+                    stop = True
+                    break
+                batch.append(item)
+            for group in coalesce(batch, cfg.max_batch, cfg.max_batch_lanes):
+                try:
+                    run_group(self.session, group, self.stats)
+                finally:
+                    self._done(len(group))
+
+    # -- introspection ------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-tenant serving statistics (see :class:`ServingStats`)."""
+        return self.stats.snapshot()

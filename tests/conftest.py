@@ -6,6 +6,21 @@ import pytest
 from repro.formats.csr import CSRMatrix
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_cache_env(monkeypatch):
+    """Strip ambient persistent-state environment from every test.
+
+    A developer's ``$REPRO_KERNEL_CACHE`` / ``$REPRO_TUNING_RECORDS`` must
+    never leak into tests (warm-started kernels would mask real lowering
+    bugs, and concurrent test runs would race on one shared directory), and
+    tests must never pollute the developer's caches.  Tests that exercise
+    the environment handling set the variables explicitly via
+    ``monkeypatch.setenv`` on top of this clean slate.
+    """
+    monkeypatch.delenv("REPRO_KERNEL_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_TUNING_RECORDS", raising=False)
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(0)

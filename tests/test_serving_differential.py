@@ -1,0 +1,342 @@
+"""Differential correctness of the serving batcher (coalesced vs eager).
+
+The serving runtime's central claim is that coalescing is *invisible*: N
+concurrent requests answered through one ``batched_spmm`` launch return
+bit-for-bit the same arrays as N sequential eager calls.  These tests check
+that claim three ways:
+
+* deterministically, driving :func:`~repro.serve.batching.coalesce` +
+  ``run_group`` directly (no threads, no timing) over both dtypes, empty
+  batches and mixed-fingerprint interleavings;
+* property-based (hypothesis, marked ``slow``), over randomly drawn
+  structures, dtypes, widths and interleavings;
+* end-to-end through a live :class:`~repro.serve.Server` — threaded
+  submission, the asyncio front-end, and the saturation policies.
+"""
+
+import asyncio
+import queue
+import threading
+import time
+from concurrent.futures import wait
+
+import numpy as np
+import pytest
+
+from repro.formats.csr import CSRMatrix
+from repro.runtime.session import Session
+from repro.serve import (
+    Server,
+    ServerConfig,
+    ServerSaturated,
+    coalesce,
+    make_call_request,
+    make_sddmm_request,
+    make_spmm_request,
+    run_group,
+)
+from repro.serve.stats import ServingStats
+
+
+def _random_csr(rows, cols, density, seed, rng_values=True):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((rows, cols)) < density).astype(np.float32)
+    if rng_values:
+        dense *= rng.random((rows, cols)).astype(np.float32)
+    return CSRMatrix.from_dense(dense)
+
+
+def _assert_bit_exact(actual, expected):
+    assert actual.dtype == expected.dtype
+    assert actual.shape == expected.shape
+    assert np.array_equal(actual, expected)
+
+
+class TestCoalesce:
+    def test_empty_batch(self):
+        assert coalesce([]) == []
+
+    def test_same_fingerprint_groups_fifo(self, rng):
+        csr = _random_csr(10, 8, 0.3, seed=0)
+        reqs = [make_spmm_request(csr, rng.random((8, 4), dtype=np.float32)) for _ in range(5)]
+        groups = coalesce(reqs)
+        assert [len(g) for g in groups] == [5]
+        assert groups[0] == reqs  # FIFO order preserved
+
+    def test_max_batch_chunks(self, rng):
+        csr = _random_csr(10, 8, 0.3, seed=0)
+        reqs = [make_spmm_request(csr, rng.random((8, 4), dtype=np.float32)) for _ in range(7)]
+        groups = coalesce(reqs, max_batch=3)
+        assert [len(g) for g in groups] == [3, 3, 1]
+
+    def test_lane_budget_chunks(self, rng):
+        csr = _random_csr(10, 8, 0.3, seed=0)
+        reqs = [make_spmm_request(csr, rng.random((8, 4), dtype=np.float32)) for _ in range(4)]
+        lanes = reqs[0].lanes
+        groups = coalesce(reqs, max_lanes=2 * lanes)
+        assert [len(g) for g in groups] == [2, 2]
+        # A single over-budget request still runs (singleton group).
+        groups = coalesce(reqs[:1], max_lanes=lanes - 1)
+        assert [len(g) for g in groups] == [1]
+
+    def test_mixed_fingerprints_never_share_a_group(self, rng):
+        a = _random_csr(10, 8, 0.3, seed=0)
+        b = _random_csr(10, 8, 0.3, seed=1)
+        x32 = rng.random((8, 4), dtype=np.float32)
+        reqs = [
+            make_spmm_request(a, x32),
+            make_spmm_request(b, x32),
+            make_spmm_request(a, x32.astype(np.float64)),  # dtype splits the group
+            make_spmm_request(a, rng.random((8, 6), dtype=np.float32)),  # width splits
+            make_spmm_request(a, x32),
+        ]
+        groups = coalesce(reqs)
+        for group in groups:
+            assert len({req.fingerprint for req in group}) == 1
+        # Same matrix+width+dtype coalesce; everything else is separate.
+        assert sorted(len(g) for g in groups) == [1, 1, 1, 2]
+
+    def test_same_structure_different_values_split(self, rng):
+        """csr.data is part of the fingerprint: the batched kernel shares one
+        value array, so equal sparsity patterns with different edge weights
+        must not coalesce."""
+        a = _random_csr(10, 8, 0.3, seed=0)
+        b = CSRMatrix(a.shape, a.indptr, a.indices, a.data * 2.0)
+        x = rng.random((8, 4), dtype=np.float32)
+        groups = coalesce([make_spmm_request(a, x), make_spmm_request(b, x)])
+        assert [len(g) for g in groups] == [1, 1]
+
+    def test_non_batchable_requests_are_singletons(self):
+        reqs = [make_call_request(lambda: 1) for _ in range(3)]
+        groups = coalesce(reqs)
+        assert [len(g) for g in groups] == [1, 1, 1]
+
+
+class TestRunGroupDifferential:
+    @pytest.mark.parametrize("np_dtype", [np.float32, np.float64])
+    def test_spmm_batch_bit_exact_with_eager(self, np_dtype, rng):
+        csr = _random_csr(24, 20, 0.2, seed=3)
+        feats = [rng.random((20, 5)).astype(np_dtype) for _ in range(6)]
+        serve_session, eager_session = Session(), Session()
+        reqs = [make_spmm_request(csr, x) for x in feats]
+        groups = coalesce(reqs)
+        assert [len(g) for g in groups] == [6]
+        run_group(serve_session, groups[0])
+        for req, x in zip(reqs, feats):
+            expected = eager_session.spmm(csr, x, dtype=str(np.dtype(np_dtype)))
+            _assert_bit_exact(req.future.result(timeout=10), expected)
+
+    @pytest.mark.parametrize("np_dtype", [np.float32, np.float64])
+    def test_sddmm_batch_bit_exact_with_eager(self, np_dtype, rng):
+        csr = _random_csr(16, 12, 0.25, seed=4)
+        pairs = [
+            (rng.random((16, 4)).astype(np_dtype), rng.random((4, 12)).astype(np_dtype))
+            for _ in range(4)
+        ]
+        serve_session, eager_session = Session(), Session()
+        reqs = [make_sddmm_request(csr, x, y) for x, y in pairs]
+        groups = coalesce(reqs)
+        assert [len(g) for g in groups] == [4]
+        run_group(serve_session, groups[0])
+        for req, (x, y) in zip(reqs, pairs):
+            expected = eager_session.sddmm(csr, x, y, dtype=str(np.dtype(np_dtype)))
+            _assert_bit_exact(req.future.result(timeout=10), expected)
+
+    def test_mixed_interleaving_bit_exact(self, rng):
+        """A drained queue mixing matrices, widths and dtypes: every request
+        resolves to exactly its own eager answer."""
+        mats = [_random_csr(14, 10, 0.3, seed=s) for s in (0, 1)]
+        serve_session, eager_session = Session(), Session()
+        reqs, expected = [], []
+        for i in range(12):
+            csr = mats[i % 2]
+            np_dtype = np.float64 if i % 3 == 0 else np.float32
+            x = rng.random((10, 3 if i % 4 else 5)).astype(np_dtype)
+            reqs.append(make_spmm_request(csr, x))
+            expected.append(eager_session.spmm(csr, x, dtype=str(np.dtype(np_dtype))))
+        for group in coalesce(reqs):
+            run_group(serve_session, group)
+        for req, exp in zip(reqs, expected):
+            _assert_bit_exact(req.future.result(timeout=10), exp)
+
+    def test_poisoned_request_degrades_batchmates_to_eager(self, rng):
+        """A batch that fails mid-launch re-runs each member eagerly: good
+        requests still succeed (degraded="eager"), the bad one raises."""
+        csr = _random_csr(10, 8, 0.3, seed=5)
+        good = [make_spmm_request(csr, rng.random((8, 4), dtype=np.float32)) for _ in range(3)]
+        bad = make_spmm_request(csr, rng.random((8, 4), dtype=np.float32))
+        bad.payload["features"] = rng.random((7, 4)).astype(np.float32)  # corrupt post-fingerprint
+        group = [good[0], bad, good[1], good[2]]
+        session, eager_session, stats = Session(), Session(), ServingStats()
+        run_group(session, group, stats)
+        with pytest.raises(Exception):
+            bad.future.result(timeout=10)
+        for req in good:
+            expected = eager_session.spmm(csr, req.payload["features"], dtype="float32")
+            _assert_bit_exact(req.future.result(timeout=10), expected)
+            assert req.degraded == "eager"
+        snap = stats.snapshot()["default"]
+        assert snap["degraded_eager"] == 4
+        assert snap["errors"] == 1
+
+
+@pytest.mark.slow
+class TestPropertyDifferential:
+    """Hypothesis: coalesced serving is bit-exact under arbitrary mixes."""
+
+    def test_random_interleavings(self):
+        from hypothesis import HealthCheck, given, settings
+        from hypothesis import strategies as st
+
+        @settings(
+            max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+        )
+        @given(
+            seed=st.integers(0, 2**16),
+            n_requests=st.integers(0, 10),
+            n_matrices=st.integers(1, 3),
+            widths=st.lists(st.sampled_from([1, 2, 4, 7]), min_size=1, max_size=3),
+            max_batch=st.integers(1, 8),
+        )
+        def run(seed, n_requests, n_matrices, widths, max_batch):
+            rng = np.random.default_rng(seed)
+            mats = [
+                _random_csr(rng.integers(4, 16), rng.integers(4, 14), 0.35, seed=seed + i)
+                for i in range(n_matrices)
+            ]
+            serve_session, eager_session = Session(), Session()
+            reqs, expected = [], []
+            for _ in range(n_requests):
+                csr = mats[rng.integers(len(mats))]
+                np_dtype = np.float64 if rng.integers(2) else np.float32
+                x = rng.random((csr.shape[1], int(rng.choice(widths)))).astype(np_dtype)
+                reqs.append(make_spmm_request(csr, x))
+                expected.append(eager_session.spmm(csr, x, dtype=str(np.dtype(np_dtype))))
+            groups = coalesce(reqs, max_batch=max_batch)
+            assert sum(len(g) for g in groups) == len(reqs)
+            for group in groups:
+                assert len(group) <= max_batch
+                assert len({req.fingerprint for req in group}) <= 1
+                run_group(serve_session, group)
+            for req, exp in zip(reqs, expected):
+                _assert_bit_exact(req.future.result(timeout=10), exp)
+
+        run()
+
+
+class TestServerEndToEnd:
+    def test_threaded_submission_bit_exact(self, rng):
+        csr = _random_csr(20, 16, 0.25, seed=6)
+        feats = [rng.random((16, 4), dtype=np.float32) for _ in range(16)]
+        eager_session = Session()
+        expected = [eager_session.spmm(csr, x, dtype="float32") for x in feats]
+        with Server(session=Session(), config=ServerConfig(linger_s=0.01)) as server:
+            futures = [None] * len(feats)
+            barrier = threading.Barrier(4)
+
+            def submit(worker):
+                barrier.wait()
+                for i in range(worker, len(feats), 4):
+                    futures[i] = server.spmm(csr, feats[i], tenant=f"t{worker}")
+
+            threads = [threading.Thread(target=submit, args=(w,)) for w in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            done, not_done = wait(futures, timeout=30)
+            assert not not_done
+            for fut, exp in zip(futures, expected):
+                _assert_bit_exact(fut.result(), exp)
+            assert server.flush(timeout=10)
+        snap = server.snapshot()
+        assert sum(s["requests"] for s in snap.values()) == len(feats)
+        # The burst coalesced: at least one multi-request batch launched.
+        assert any(s["batches"] >= 1 for s in snap.values())
+
+    def test_asyncio_front_end(self, rng):
+        csr = _random_csr(12, 10, 0.3, seed=7)
+        feats = [rng.random((10, 3), dtype=np.float32) for _ in range(6)]
+        eager_session = Session()
+        expected = [eager_session.spmm(csr, x, dtype="float32") for x in feats]
+
+        async def drive(server):
+            return await asyncio.gather(
+                *(server.spmm_async(csr, x) for x in feats)
+            )
+
+        with Server(session=Session(), config=ServerConfig(linger_s=0.01)) as server:
+            results = asyncio.run(drive(server))
+        for out, exp in zip(results, expected):
+            _assert_bit_exact(out, exp)
+
+    def _blocked_server(self, capacity):
+        """A server whose batcher thread is parked on an event, so the queue
+        can be saturated deterministically."""
+        server = Server(
+            session=Session(),
+            config=ServerConfig(
+                queue_capacity=capacity, linger_s=0.0, poll_s=0.01, saturation="inline"
+            ),
+        )
+        release = threading.Event()
+        started = threading.Event()
+
+        def block():
+            started.set()
+            release.wait(timeout=30)
+
+        server.call(block)
+        assert started.wait(timeout=10)  # the batcher is now busy
+        return server, release
+
+    def test_saturation_inline_executes_on_caller(self, rng):
+        csr = _random_csr(10, 8, 0.3, seed=8)
+        x = rng.random((8, 2), dtype=np.float32)
+        expected = Session().spmm(csr, x, dtype="float32")
+        server, release = self._blocked_server(capacity=1)
+        try:
+            filler = server.spmm(csr, x)  # fills the queue
+            inline = server.spmm(csr, x)  # queue full -> runs on this thread
+            assert inline.done()  # resolved synchronously, batcher still blocked
+            _assert_bit_exact(inline.result(), expected)
+            release.set()
+            _assert_bit_exact(filler.result(timeout=30), expected)
+        finally:
+            release.set()
+            server.close()
+        assert server.snapshot()["default"]["degraded_inline"] == 1
+
+    def test_saturation_reject_fails_future(self, rng):
+        csr = _random_csr(10, 8, 0.3, seed=9)
+        x = rng.random((8, 2), dtype=np.float32)
+        server, release = self._blocked_server(capacity=1)
+        server.config.saturation = "reject"
+        try:
+            filler = server.spmm(csr, x)
+            rejected = server.spmm(csr, x)
+            with pytest.raises(ServerSaturated):
+                rejected.result(timeout=10)
+            release.set()
+            filler.result(timeout=30)
+        finally:
+            release.set()
+            server.close()
+
+    def test_close_is_idempotent_and_rejects_new_work(self, rng):
+        server = Server(session=Session())
+        server.close()
+        server.close()
+        with pytest.raises(RuntimeError):
+            server.spmm(_random_csr(4, 4, 0.5, seed=0), np.ones((4, 2), np.float32))
+
+    def test_call_requests_flow_through(self):
+        with Server(session=Session()) as server:
+            fut = server.call(lambda a, b: a + b, 2, b=3)
+            assert fut.result(timeout=10) == 5
+
+    def test_queue_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ServerConfig(queue_capacity=0)
+        with pytest.raises(ValueError):
+            ServerConfig(saturation="drop")
