@@ -32,7 +32,9 @@ class ELLMatrix:
             raise ValueError("ELL indices must be a 2-D (rows x nnz_cols) array")
         if data is None:
             data = np.zeros_like(self.indices, dtype=np.float32)
-        self.data = np.asarray(data, dtype=np.float32)
+        # Preserve the caller's value dtype (float64 hyb buckets must not be
+        # silently truncated); only the no-data default is float32.
+        self.data = np.asarray(data)
         if self.data.shape != self.indices.shape:
             raise ValueError("ELL data must have the same shape as indices")
         # Optional mapping from local rows to rows of an enclosing matrix
@@ -50,7 +52,7 @@ class ELLMatrix:
                 f"rows have up to {csr.max_row_length()} non-zeros, ELL width {width} too small"
             )
         indices = np.full((csr.rows, width), PAD, dtype=np.int64)
-        data = np.zeros((csr.rows, width), dtype=np.float32)
+        data = np.zeros((csr.rows, width), dtype=csr.data.dtype)
         for row in range(csr.rows):
             start, end = csr.indptr[row], csr.indptr[row + 1]
             count = end - start
@@ -88,7 +90,7 @@ class ELLMatrix:
 
     # -- conversions -----------------------------------------------------------------
     def to_dense(self) -> np.ndarray:
-        dense = np.zeros(self.shape, dtype=np.float32)
+        dense = np.zeros(self.shape, dtype=self.data.dtype)
         for local_row in range(self.num_rows):
             target = local_row if self.row_map is None else int(self.row_map[local_row])
             for slot in range(self.nnz_cols):

@@ -70,8 +70,12 @@ class HybFormat:
     ) -> "HybFormat":
         """Build ``hyb(c, k)`` with power-of-two bucket widths ``1..2^(k-1)``.
 
-        When ``num_buckets`` is omitted the paper's heuristic
-        ``k = ceil(log2(nnz / n))`` (average degree) is used.
+        When ``num_buckets`` is omitted,
+        ``k = ceil(log2(max(nnz / n, 1))) + 1`` — one bucket *more* than the
+        paper's stated ``ceil(log2(avg_degree))``, so the widest width
+        ``2^(k-1)`` is at least the average degree and typical rows fit
+        without row splitting (pinned per fig-13 graph in
+        ``tests/test_dynamic.py``).
         """
         if num_buckets is None:
             average = max(csr.nnz / max(csr.rows, 1), 1.0)
@@ -125,7 +129,7 @@ class HybFormat:
                 row_map = entry_row[sel]
                 sel_len = entry_len[sel]
                 indices = np.full((num_rows, width), PAD, dtype=np.int64)
-                data = np.zeros((num_rows, width), dtype=np.float32)
+                data = np.zeros((num_rows, width), dtype=sub.data.dtype)
                 slot = np.repeat(np.arange(num_rows, dtype=np.int64), sel_len)
                 col = ragged_arange(sel_len)
                 src = np.repeat(indptr[row_map] + entry_start[sel], sel_len) + col
@@ -133,12 +137,6 @@ class HybFormat:
                 data[slot, col] = sub.data[src]
                 ell = ELLMatrix((num_rows, hi - lo), indices, data, row_map=row_map)
                 self.buckets.append(HybBucket(part, width, ell, col_offset=lo))
-
-    def _bucket_for(self, length: int) -> int:
-        for width in self.bucket_widths:
-            if length <= width:
-                return width
-        return self.bucket_widths[-1]
 
     # -- statistics -----------------------------------------------------------------
     @property
@@ -180,7 +178,7 @@ class HybFormat:
 
     # -- correctness -----------------------------------------------------------------
     def to_dense(self) -> np.ndarray:
-        dense = np.zeros(self.source.shape, dtype=np.float32)
+        dense = np.zeros(self.source.shape, dtype=self.source.data.dtype)
         for bucket in self.buckets:
             ell = bucket.ell
             for local_row in range(ell.num_rows):

@@ -362,7 +362,13 @@ def spmm_hyb_workload(
 
 
 def choose_hyb_parameters(csr: CSRMatrix) -> Tuple[int, int]:
-    """The paper's heuristic: search ``c`` in {1,2,4,8,16}, ``k = ceil(log2(nnz/n))``."""
+    """Default hyb parameters: ``c = 16``, ``k = ceil(log2(max(nnz/n, 1))) + 1``.
+
+    The bucket count is one more than the paper's stated
+    ``ceil(log2(avg_degree))`` so the widest bucket width ``2^(k-1)`` covers
+    the average degree without row splitting (matches
+    :meth:`repro.formats.hyb.HybFormat.from_csr`).
+    """
     average_degree = max(csr.nnz / max(csr.rows, 1), 1.0)
     num_buckets = max(1, int(math.ceil(math.log2(average_degree))) + 1)
     candidate_parts = [1, 2, 4, 8, 16]

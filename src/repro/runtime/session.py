@@ -73,6 +73,9 @@ class SessionStats:
     interpreted_runs: int = 0
     graph_nodes_fused: int = 0
     graph_nodes_unfused: int = 0
+    overlay_runs: int = 0
+    stale_plan_reuses: int = 0
+    retunes_triggered: int = 0
 
     @property
     def runs(self) -> int:
@@ -95,6 +98,9 @@ class SessionStats:
             "interpreted_runs": self.interpreted_runs,
             "graph_nodes_fused": self.graph_nodes_fused,
             "graph_nodes_unfused": self.graph_nodes_unfused,
+            "overlay_runs": self.overlay_runs,
+            "stale_plan_reuses": self.stale_plan_reuses,
+            "retunes_triggered": self.retunes_triggered,
         }
 
 
@@ -149,6 +155,19 @@ class Session:
         :class:`~repro.tune.records.TuningRecordStore` selects an explicit
         store.  :meth:`autotune` writes records through it and the
         ``tuned=True`` operator flag reads them back.
+    drift_threshold:
+        Structural-drift bound for autotuned plans on mutated matrices:
+        once a structure has drifted (cumulative edge edits since its last
+        :meth:`autotune`, over the nnz at tune time) past this fraction,
+        ``tuned=True`` calls stop reusing the stale plan and a re-tune is
+        triggered — queued on :attr:`retune_pending` by default, run inline
+        when ``auto_retune`` is set.  Below the threshold the recorded plan
+        is reused (counted in ``stats.stale_plan_reuses``).
+    auto_retune:
+        Run the drift-triggered :meth:`autotune` inline inside the operator
+        call instead of queueing it (defaults to ``False`` — a tuning
+        search inside a serving request is a latency cliff; call
+        :meth:`retune` to drain the queue at a convenient time).
     """
 
     def __init__(
@@ -158,6 +177,8 @@ class Session:
         persistent: Any = None,
         format_cache_capacity: int = 64,
         tuning_records: Any = None,
+        drift_threshold: float = 0.5,
+        auto_retune: bool = False,
     ):
         if format_cache_capacity <= 0:
             raise ValueError("format_cache_capacity must be positive")
@@ -182,6 +203,14 @@ class Session:
         self._tuning_store: Any = _UNRESOLVED
         self._tuned: Dict[str, Any] = {}
         self._fingerprints: "OrderedDict[tuple, Any]" = OrderedDict()
+        self.drift_threshold = float(drift_threshold)
+        self.auto_retune = bool(auto_retune)
+        #: ``id(structure) -> lineage`` of the last autotune per mutable
+        #: structure (strong refs, so ids cannot be reused while tracked).
+        self._tuned_lineage: Dict[int, Dict[str, Any]] = {}
+        #: Drift-triggered re-tunes awaiting :meth:`retune` (when
+        #: ``auto_retune`` is off).
+        self.retune_pending: list = []
 
     # -- compilation -----------------------------------------------------------
     def build(self, func: PrimFunc, horizontal_fusion: bool = True) -> Kernel:
@@ -288,20 +317,92 @@ class Session:
         result = autotune(workload, problem, session=self, **kwargs)
         if result.record is not None:
             self._remember_tuning(result.record)
+            structure = self._problem_structure(problem)
+            if structure is not None and hasattr(structure, "structure_epoch"):
+                self._tuned_lineage[id(structure)] = {
+                    "structure": structure,
+                    "workload": workload,
+                    "record": result.record,
+                    "mutations": int(getattr(structure, "mutation_count", 0)),
+                    "nnz": int(structure.nnz),
+                    "kwargs": dict(kwargs),
+                }
         return result
+
+    def retune(self, **kwargs) -> list:
+        """Drain :attr:`retune_pending`: re-run :meth:`autotune` per task.
+
+        Each drift-triggered task re-tunes with the keyword arguments of its
+        original :meth:`autotune` call (strategy, trial budget, seed, ...),
+        overridden by any *kwargs* given here.  Returns the list of
+        :class:`~repro.tune.tuner.TuningResult` objects.
+        """
+        pending, self.retune_pending = self.retune_pending, []
+        results = []
+        for entry in pending:
+            merged = {**entry["kwargs"], **kwargs}
+            results.append(self.autotune(entry["workload"], entry["problem"], **merged))
+        return results
 
     def _remember_tuning(self, record: Any) -> None:
         self._tuned[record.fingerprint] = record
 
+    @staticmethod
+    def _problem_structure(problem: Any):
+        """The problem's (first) epoch-carrying structure field, if any."""
+        import dataclasses
+
+        if not dataclasses.is_dataclass(problem):
+            return problem if hasattr(problem, "structure_epoch") else None
+        for field_ in dataclasses.fields(problem):
+            value = getattr(problem, field_.name)
+            if hasattr(value, "structure_epoch"):
+                return value
+        return None
+
+    def _lineage_record(self, workload: str, problem: Any):
+        """Stale-but-close plan reuse / re-tune trigger for drifted structures.
+
+        Called on an exact-fingerprint miss.  If the problem's structure was
+        autotuned earlier in this session and has since mutated, the
+        recorded plan is reused while the drift (edits since tune / nnz at
+        tune) stays below :attr:`drift_threshold`; crossing it triggers a
+        re-tune — inline when :attr:`auto_retune` is set, else queued on
+        :attr:`retune_pending` — and the lineage entry is retired so the
+        trigger fires once per crossing.
+        """
+        structure = self._problem_structure(problem)
+        if structure is None:
+            return None
+        entry = self._tuned_lineage.get(id(structure))
+        if entry is None or entry["structure"] is not structure or entry["workload"] != workload:
+            return None
+        edits = int(getattr(structure, "mutation_count", 0)) - entry["mutations"]
+        drift = edits / max(entry["nnz"], 1)
+        if drift < self.drift_threshold:
+            self.stats.stale_plan_reuses += 1
+            return entry["record"]
+        self.stats.retunes_triggered += 1
+        del self._tuned_lineage[id(structure)]
+        if self.auto_retune:
+            result = self.autotune(workload, problem, **entry["kwargs"])
+            return result.record
+        self.retune_pending.append(
+            {"workload": workload, "problem": problem, "kwargs": entry["kwargs"]}
+        )
+        return None
+
     def _task_fingerprint(self, workload: str, problem: Any) -> str:
-        """Structural task fingerprint, memoised by problem identity.
+        """Structural task fingerprint, memoised by problem identity + epoch.
 
         The full fingerprint hashes the problem's structural arrays (O(nnz));
         run-many loops call ``tuned=True`` operators with the *same* problem
         objects, so the hash is computed once per (workload, structure) and
         served from a bounded memo afterwards.  Memo entries hold strong
         references to the keyed objects, so an ``id()`` can never be reused
-        while its key is alive.
+        while its key is alive; mutable structures are keyed by
+        ``(id, structure_epoch)``, so a mutated matrix can never hit its
+        pre-mutation entry.
         """
         import dataclasses
 
@@ -312,10 +413,10 @@ class Session:
             if isinstance(value, (int, float, str, bool, type(None))):
                 parts.append(value)
             else:
-                parts.append(id(value))
+                parts.append((id(value), getattr(value, "structure_epoch", None)))
                 refs.append(value)
         if not refs and not dataclasses.is_dataclass(problem):
-            parts.append(id(problem))
+            parts.append((id(problem), getattr(problem, "structure_epoch", None)))
             refs.append(problem)
         key = tuple(parts)
         hit = self._fingerprints.get(key)
@@ -342,6 +443,8 @@ class Session:
             return record
         store = self.tuning_records
         record = store.get(fingerprint) if store is not None else None
+        if record is None:
+            record = self._lineage_record(workload, problem)
         self._tuned[fingerprint] = record
         return record
 
@@ -381,13 +484,24 @@ class Session:
                 self._formats.popitem(last=False)
         return entry
 
+    @staticmethod
+    def _csr_memo_content(csr) -> Any:
+        """Content identity of a matrix for decomposition memo keys.
+
+        Epoch-memoised :meth:`~repro.formats.csr.CSRMatrix.content_signature`
+        when available (stale-proof under mutation, O(1) when unchanged);
+        plain content hash of the triplet otherwise.
+        """
+        signature = getattr(csr, "content_signature", None)
+        if callable(signature):
+            return signature()
+        return _content_key(csr.shape, csr.indptr, csr.indices, csr.data)
+
     def decompose_hyb(self, csr, num_col_parts: int = 1, num_buckets: Optional[int] = None):
         """``HybFormat.from_csr`` memoised by sparsity content and parameters."""
         from ..formats.hyb import HybFormat
 
-        key = _content_key(
-            "hyb", csr.shape, csr.indptr, csr.indices, csr.data, num_col_parts, num_buckets
-        )
+        key = _content_key("hyb", self._csr_memo_content(csr), num_col_parts, num_buckets)
         return self._memoized_format(
             key,
             lambda: HybFormat.from_csr(csr, num_col_parts=num_col_parts, num_buckets=num_buckets),
@@ -405,7 +519,7 @@ class Session:
         """
         from ..formats.bsr import BSRMatrix
 
-        key = _content_key("bsr", csr.shape, csr.indptr, csr.indices, csr.data, block_size)
+        key = _content_key("bsr", self._csr_memo_content(csr), block_size)
         return self._memoized_format(key, lambda: BSRMatrix.from_csr(csr, block_size))
 
     # -- operators -------------------------------------------------------------
@@ -420,6 +534,12 @@ class Session:
         tuned: bool = False,
     ) -> np.ndarray:
         """``A @ X`` through the full compile/execute pipeline.
+
+        A matrix with a pending delta
+        (:attr:`~repro.formats.csr.CSRMatrix.has_pending_delta`) executes
+        as base plan + overlay — the frozen base runs through its warm
+        cached kernel and only the delta's affected rows are recomputed —
+        bit-exact with a cold rebuild (see :mod:`repro.runtime.dynamic`).
 
         Args:
             csr: The sparse matrix (:class:`~repro.formats.csr.CSRMatrix`).
@@ -441,6 +561,13 @@ class Session:
         Returns:
             The dense product, shape ``(rows, feat)`` in the resolved dtype.
         """
+        if getattr(csr, "has_pending_delta", False):
+            from .dynamic import overlay_spmm
+
+            return overlay_spmm(
+                self, csr, features, format=format, num_col_parts=num_col_parts,
+                num_buckets=num_buckets, dtype=dtype, tuned=tuned,
+            )
         from ..ops.registry import prepare_spmm
 
         return self._execute(prepare_spmm(
@@ -459,6 +586,9 @@ class Session:
     ) -> np.ndarray:
         """Sampled dense-dense matmul at the non-zeros of ``csr``.
 
+        A matrix with a pending delta executes as base plan + edge overlay,
+        bit-exact with a cold rebuild (see :mod:`repro.runtime.dynamic`).
+
         Args:
             csr: The sampling structure (values scale each edge score).
             x: Dense operand of shape ``(rows, feat)``.
@@ -471,6 +601,12 @@ class Session:
         Returns:
             The new edge values in CSR order, shape ``(nnz,)``.
         """
+        if getattr(csr, "has_pending_delta", False):
+            from .dynamic import overlay_sddmm
+
+            return overlay_sddmm(
+                self, csr, x, y, fuse_ij=fuse_ij, dtype=dtype, tuned=tuned
+            )
         from ..ops.registry import prepare_sddmm
 
         return self._execute(prepare_sddmm(

@@ -42,13 +42,19 @@ DEFAULT_MAX_LANES = 1_500_000
 
 
 def _csr_content_key(csr) -> str:
-    """Content hash of a CSR matrix (structure + values), memoized.
+    """Content hash of a CSR matrix (structure + values), memoized per epoch.
 
     Hashing ``indptr``/``indices``/``data`` costs ~nnz work per call, which
-    would dominate the serving fast path if paid per request; matrices are
-    immutable by convention throughout the codebase, so the hash is computed
-    once and cached on the object.
+    would dominate the serving fast path if paid per request.  Matrices that
+    track mutations (:class:`~repro.formats.csr.CSRMatrix`) memoise the hash
+    by ``structure_epoch`` via ``content_signature()``, so a mutated matrix
+    re-fingerprints while unchanged-epoch requests stay O(1) — the hash can
+    never go stale.  Foreign matrix types without an epoch are immutable by
+    convention, so their hash is computed once and cached on the object.
     """
+    signature = getattr(csr, "content_signature", None)
+    if callable(signature):
+        return signature()
     cached = getattr(csr, "_serve_content_key", None)
     if cached is None:
         cached = content_key(csr.shape, csr.indptr, csr.indices, csr.data)
