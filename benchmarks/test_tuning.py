@@ -1,19 +1,23 @@
-"""Autoscheduler wall-clock harness: tuned vs default decompositions.
+"""Autoscheduler wall-clock harness: tuned vs default, analytic vs hybrid.
 
 Drives :meth:`Session.autotune` over the fig-13 SpMM benchmark graphs and
 writes ``BENCH_tuning.json`` at the repository root — the artifact the CI
 ``tune-smoke`` job uploads.  For every graph the harness
 
-1. autotunes the ``spmm`` workload with the two-phase driver, forcing the
-   *current default* hyb configuration (``hyb(1, heuristic)``) into the
-   measured set, so the tuned winner is **at least as fast as the default
-   by construction** (both are timed in the same session, the winner is the
-   minimum);
-2. records the tuned configuration, its predicted cost and measured
-   wallclock next to the default's;
+1. autotunes the ``spmm`` workload with the two-phase driver under the
+   **analytic** cost model, forcing the *current default* hyb configuration
+   (``hyb(1, heuristic)``) into the measured set, so the tuned winner is
+   **at least as fast as the default by construction** (both are timed in
+   the same session, the winner is the minimum) — and feeding the
+   measurement corpus as a side effect;
+2. re-tunes the same task with ``cost_model="hybrid"``: the residual model
+   trained on the pass-1 corpus re-ranks phase 1 and halves the phase-2
+   survivor budget, so the hybrid pass must spend **strictly fewer
+   wallclock measurements** while still beating the default;
 3. re-opens the record store in a fresh :class:`Session` and verifies the
-   persisted :class:`TuningRecord` replays with zero model evaluations and
-   zero re-measurement.
+   persisted :class:`TuningRecord` replays with zero model evaluations,
+   zero re-measurement, and — with the corpus sitting right there — zero
+   cost-model retraining.
 
 ``test_tuning_smoke`` (CI lane) runs one small graph; ``test_tuning_full``
 (nightly, ``slow``) sweeps every fig-13 graph and writes the committed
@@ -27,6 +31,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.perf.learned import RidgeCostModel
 from repro.runtime.session import Session
 from repro.tune import SpMMProblem, TuningRecordStore
 from repro.workloads.graphs import available_graphs, generate_adjacency, synthetic_graph
@@ -60,34 +65,54 @@ def _measured_seconds(history, config_subset):
     return best
 
 
+def _default_seconds(result):
+    seconds = _measured_seconds(
+        result.history,
+        {k: DEFAULT_HYB[k] for k in ("format", "num_col_parts", "num_buckets")},
+    )
+    assert seconds is not None, "the default hyb config must be measured"
+    assert result.best_measured_s is not None
+    # The winner is the minimum over a measured set containing the default.
+    assert result.best_measured_s <= seconds
+    return seconds
+
+
 def _tune_one(name, csr, feat_size, store, max_trials, survivors, repeats):
     session = Session(persistent=False, tuning_records=store)
     problem = SpMMProblem(csr, feat_size)
-    result = session.autotune(
-        "spmm",
-        problem,
+    shared = dict(
         max_trials=max_trials,
         survivors=survivors,
         repeats=repeats,
         seed=0,
         include=[dict(DEFAULT_HYB)],
     )
-    default_s = _measured_seconds(
-        result.history,
-        {k: DEFAULT_HYB[k] for k in ("format", "num_col_parts", "num_buckets")},
+    # Pass A: the analytic cost model, feeding the measurement corpus.
+    result = session.autotune("spmm", problem, **shared)
+    default_s = _default_seconds(result)
+
+    # Pass B: the hybrid model trained on that corpus re-ranks phase 1 and
+    # halves the phase-2 budget — fewer measurements, same guarantee.
+    hybrid = session.autotune(
+        "spmm", problem, force=True, cost_model="hybrid",
+        corpus_min_samples=3, **shared,
     )
-    assert default_s is not None, "the default hyb config must be measured"
-    assert result.best_measured_s is not None
-    # The winner is the minimum over a measured set containing the default.
-    assert result.best_measured_s <= default_s
+    hybrid_default_s = _default_seconds(hybrid)
+    assert hybrid.record.metadata["corpus_samples"] >= 3
+    assert hybrid.timed_runs < result.timed_runs, (
+        "the confident hybrid model must spend fewer wallclock measurements"
+    )
 
     # Acceptance: a fresh process/session replays the persisted record with
-    # zero re-measurement.
+    # zero re-measurement — and, even asked for the learned ranking with a
+    # populated corpus on disk, zero cost-model retraining.
     fresh = Session(persistent=False, tuning_records=store)
-    replay = fresh.autotune("spmm", problem)
+    fits_before = RidgeCostModel.fit_count
+    replay = fresh.autotune("spmm", problem, cost_model="hybrid")
     assert replay.replayed and replay.evaluated == 0
+    assert RidgeCostModel.fit_count == fits_before, "replay must not retrain"
     assert fresh.stats.runs == 0
-    assert replay.best_config == result.best_config
+    assert replay.best_config == hybrid.best_config
 
     row = {
         "graph": name,
@@ -101,12 +126,22 @@ def _tune_one(name, csr, feat_size, store, max_trials, survivors, repeats):
         "tuned_predicted_us": result.best_predicted_us,
         "tuned_measured_s": result.best_measured_s,
         "speedup_vs_default": default_s / result.best_measured_s,
+        "analytic_measured_configs": result.measured_configs,
+        "analytic_timed_runs": result.timed_runs,
+        "hybrid_config": hybrid.best_config,
+        "hybrid_measured_s": hybrid.best_measured_s,
+        "hybrid_speedup_vs_default": hybrid_default_s / hybrid.best_measured_s,
+        "hybrid_measured_configs": hybrid.measured_configs,
+        "hybrid_timed_runs": hybrid.timed_runs,
         "replay_verified": True,
     }
     print(
         f"{name:16s} tuned {result.best_measured_s * 1e3:8.3f} ms  "
         f"default {default_s * 1e3:8.3f} ms  "
-        f"x{row['speedup_vs_default']:.2f}  cfg={result.best_config}"
+        f"x{row['speedup_vs_default']:.2f}  "
+        f"hybrid x{row['hybrid_speedup_vs_default']:.2f} "
+        f"({hybrid.timed_runs}/{result.timed_runs} timed runs)  "
+        f"cfg={result.best_config}"
     )
     return row
 
@@ -120,8 +155,11 @@ def _run_suite(mode, graphs, feat_size, output, max_trials, survivors, repeats):
                 _tune_one(name, csr, feat_size, store, max_trials, survivors, repeats)
             )
     speedups = [row["speedup_vs_default"] for row in results]
+    hybrid_speedups = [row["hybrid_speedup_vs_default"] for row in results]
+    analytic_runs = sum(row["analytic_timed_runs"] for row in results)
+    hybrid_runs = sum(row["hybrid_timed_runs"] for row in results)
     payload = {
-        "schema": 1,
+        "schema": 2,
         "harness": "benchmarks/test_tuning.py",
         "mode": mode,
         "workload": "spmm",
@@ -131,12 +169,24 @@ def _run_suite(mode, graphs, feat_size, output, max_trials, survivors, repeats):
             "graphs": len(results),
             "geomean_speedup_vs_default": float(np.exp(np.mean(np.log(speedups)))),
             "min_speedup_vs_default": float(min(speedups)),
+            "hybrid_geomean_speedup_vs_default": float(
+                np.exp(np.mean(np.log(hybrid_speedups)))
+            ),
+            "hybrid_min_speedup_vs_default": float(min(hybrid_speedups)),
+            "analytic_timed_runs": analytic_runs,
+            "hybrid_timed_runs": hybrid_runs,
         },
     }
+    # The learned model's acceptance gate: equal-or-better geomean on a
+    # strictly smaller wallclock budget.
+    assert hybrid_runs < analytic_runs
+    assert payload["summary"]["hybrid_min_speedup_vs_default"] >= 1.0
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print(
         f"\nwrote {output} (geomean tuned vs default hyb: "
-        f"x{payload['summary']['geomean_speedup_vs_default']:.2f})"
+        f"x{payload['summary']['geomean_speedup_vs_default']:.2f}; hybrid "
+        f"x{payload['summary']['hybrid_geomean_speedup_vs_default']:.2f} "
+        f"on {hybrid_runs}/{analytic_runs} timed runs)"
     )
     return payload
 

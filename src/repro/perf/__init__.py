@@ -5,14 +5,16 @@ paper's evaluation.  Operators and baselines describe each kernel launch as a
 :class:`~repro.perf.workload.KernelWorkload` (thread-block groups with their
 FLOP counts, DRAM traffic, shared-memory usage and execution features); the
 :class:`~repro.perf.gpu_model.GPUModel` estimates execution time from
-occupancy, per-block roofline costs, load-balance-aware makespan scheduling
-across SMs, tensor-core throughput and kernel-launch overhead.  A
-set-associative cache simulator provides the L1/L2 hit rates reported in
-Figure 12.
+occupancy, whole-device roofline costs, a load-balance-aware critical-path
+bound on the heaviest block, tensor-core throughput and kernel-launch
+overhead.  A set-associative cache simulator provides the L1/L2 hit rates
+reported in Figure 12, and :mod:`~repro.perf.learned` layers a corpus-trained
+residual corrector on top of the analytic estimate.
 """
 
 from .device import RTX3070, V100, DeviceSpec
 from .gpu_model import GPUModel, PerfReport, estimate_us, profile_kernel
+from .learned import FEATURE_NAMES, FEATURE_VERSION, RidgeCostModel, workload_features
 from .workload import BlockGroup, KernelWorkload
 
 __all__ = [
@@ -25,4 +27,8 @@ __all__ = [
     "profile_kernel",
     "KernelWorkload",
     "BlockGroup",
+    "FEATURE_NAMES",
+    "FEATURE_VERSION",
+    "RidgeCostModel",
+    "workload_features",
 ]

@@ -29,6 +29,7 @@ class DeviceSpec:
     hbm_bandwidth_gbs: float
     fp32_tflops: float
     fp16_tflops: float
+    fp64_tflops: float
     tensor_core_tflops: float
     kernel_launch_us: float
     block_schedule_overhead_us: float
@@ -49,6 +50,10 @@ class DeviceSpec:
         return self.fp16_tflops * 1e12 / 1e6
 
     @property
+    def fp64_flops_per_us(self) -> float:
+        return self.fp64_tflops * 1e12 / 1e6
+
+    @property
     def tensor_core_flops_per_us(self) -> float:
         return self.tensor_core_tflops * 1e12 / 1e6
 
@@ -56,6 +61,8 @@ class DeviceSpec:
         """Peak device throughput in FLOPs per microsecond."""
         if tensor_core:
             return self.tensor_core_flops_per_us
+        if dtype == "float64":
+            return self.fp64_flops_per_us
         if dtype in ("float16", "bfloat16"):
             return self.fp16_flops_per_us
         return self.fp32_flops_per_us
@@ -77,6 +84,7 @@ V100 = DeviceSpec(
     hbm_bandwidth_gbs=900.0,
     fp32_tflops=15.7,
     fp16_tflops=31.4,
+    fp64_tflops=7.8,
     tensor_core_tflops=125.0,
     kernel_launch_us=5.0,
     block_schedule_overhead_us=0.2,
@@ -100,6 +108,7 @@ RTX3070 = DeviceSpec(
     hbm_bandwidth_gbs=448.0,
     fp32_tflops=20.3,
     fp16_tflops=20.3,
+    fp64_tflops=0.317,
     tensor_core_tflops=81.3,
     kernel_launch_us=5.0,
     block_schedule_overhead_us=0.2,

@@ -8,10 +8,12 @@ The model is a load-balance-aware roofline:
 2. Every block's duration is the maximum of its compute time (FLOPs over its
    share of CUDA-core or tensor-core throughput) and its memory time (DRAM
    bytes over its share of HBM bandwidth), plus a small scheduling overhead.
-3. Blocks are scheduled onto the available concurrent slots; the group's
-   duration is the resulting makespan, which is what makes skewed per-block
-   work (long CSR rows) slow — the load-balancing phenomenon the hyb format
-   addresses.
+3. A group's duration is the larger of two bounds — the whole-device
+   roofline (all blocks overlap and share peak throughput) and the critical
+   path (the heaviest single block at the rates one block can sustain alone)
+   — plus a per-wave scheduling overhead.  The critical-path bound is what
+   makes skewed per-block work (long CSR rows) slow — the load-balancing
+   phenomenon the hyb format addresses.
 4. Kernel-launch overhead is charged per launch, so composable formats
    without horizontal fusion pay for every sub-format kernel.
 """
@@ -27,6 +29,15 @@ from .device import DeviceSpec
 from .workload import BlockGroup, KernelWorkload
 
 _VECTOR_EFFICIENCY = {1: 0.70, 2: 0.85, 4: 1.0, 8: 1.0}
+
+
+def _vector_efficiency(width: int) -> float:
+    """Memory-efficiency factor for a vector width, floored to the nearest
+    known width below it (width 3 prices like 2, widths 5-7 like 4) so that
+    wider accesses never price *worse* than narrower ones."""
+    width = max(1, int(width))
+    known = [w for w in _VECTOR_EFFICIENCY if w <= width]
+    return _VECTOR_EFFICIENCY[max(known)]
 
 #: Fraction of the device's HBM bandwidth a single thread block can sustain
 #: on its own (limits the critical path of a severely imbalanced kernel: a
@@ -156,7 +167,7 @@ class GPUModel:
         device_compute_rate = compute_rate * utilisation
 
         memory_rate = device.hbm_bandwidth_bytes_per_us * group.memory_efficiency
-        memory_rate *= _VECTOR_EFFICIENCY.get(group.vector_width, 1.0)
+        memory_rate *= _vector_efficiency(group.vector_width)
         device_memory_rate = memory_rate * utilisation
 
         flops = group.flops_array()
@@ -256,20 +267,6 @@ def estimate_us(workload: KernelWorkload, device: DeviceSpec) -> float:
     change that reorders candidate rankings is caught in one place.
     """
     return GPUModel(device).estimate(workload).duration_us
-
-
-def _makespan(block_times: np.ndarray, slots: int) -> float:
-    """Approximate longest-processing-time scheduling of blocks onto slots."""
-    if block_times.size == 0:
-        return 0.0
-    if block_times.size <= slots:
-        return float(block_times.max())
-    ordered = np.sort(block_times)[::-1]
-    pad = (-ordered.size) % slots
-    if pad:
-        ordered = np.concatenate([ordered, np.zeros(pad)])
-    per_slot = ordered.reshape(-1, slots).sum(axis=0)
-    return float(per_slot.max())
 
 
 # ---------------------------------------------------------------------------

@@ -118,9 +118,12 @@ def _extract_group(name: str, stmt: Stmt, data: Dict[str, np.ndarray]) -> Option
             flops_per_iteration += _count_flops(store.value)
             store_bytes_per_iteration += dtype_bytes(getattr(store.buffer, "dtype", "float32"))
         for load in loads:
-            bytes_per = dtype_bytes(getattr(load.buffer, "dtype", "float32"))
-            load_bytes_per_iteration += bytes_per
-            if getattr(load.buffer, "dtype", "float32") in ("float16", "bfloat16"):
+            load_dtype = getattr(load.buffer, "dtype", "float32")
+            load_bytes_per_iteration += dtype_bytes(load_dtype)
+            if load_dtype == "float64":
+                # Double precision dominates: the whole group pays the fp64 rate.
+                dtype = "float64"
+            elif load_dtype in ("float16", "bfloat16") and dtype == "float32":
                 dtype = "float16"
 
     iterations_per_block = threads * serial_iterations
@@ -142,7 +145,7 @@ def _extract_group(name: str, stmt: Stmt, data: Dict[str, np.ndarray]) -> Option
         uses_tensor_core=uses_tensor_core,
         dtype=dtype,
         vector_width=vector_width,
-        register_caching=register_caching or True,
+        register_caching=register_caching,
         unrolled=unrolled,
     )
 

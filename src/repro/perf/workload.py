@@ -43,7 +43,7 @@ class BlockGroup:
     uses_tensor_core:
         Whether the block's inner product runs on tensor cores.
     dtype:
-        Compute dtype ("float32" or "float16").
+        Compute dtype ("float32", "float64" or "float16").
     vector_width:
         Width of vectorised global loads (1 = scalar, 4 = float4).
     register_caching:

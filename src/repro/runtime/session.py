@@ -298,6 +298,14 @@ class Session:
         so subsequent operator calls with ``tuned=True`` pick the tuned
         decomposition up automatically.
 
+        The session's record store also accumulates the phase-2 measurement
+        corpus, so ``cost_model="hybrid"`` (rank phase 1 with the
+        corpus-trained residual model once it is confident, spending fewer
+        wallclock measurements) and ``transfer=True`` (seed a new workload
+        from its nearest already-tuned neighbour in feature space, skipping
+        phase 2 entirely under high confidence) work per session out of the
+        box — see :mod:`repro.tune.transfer` and ``docs/tuning.md``.
+
         Args:
             workload: Registered workload family (``"spmm"``, ``"sddmm"``,
                 ``"attention"``, ``"rgms"``, ``"sparse_conv"``,
@@ -305,7 +313,8 @@ class Session:
             problem: The family's problem description (e.g.
                 :class:`~repro.tune.spaces.SpMMProblem`).
             **kwargs: Forwarded to the driver (strategy, max_trials,
-                survivors, repeats, seed, device, force, ...).
+                survivors, repeats, seed, device, force, cost_model,
+                transfer, ...).
 
         Returns:
             The :class:`~repro.tune.tuner.TuningResult`.

@@ -20,19 +20,24 @@ workload-generic **format autoscheduler**:
   strategies;
 * :mod:`~repro.tune.records` — persistent :class:`TuningRecord` storage
   keyed by structural fingerprint, so the search cost is paid once per
-  sparsity structure, exactly as the paper argues.
+  sparsity structure, exactly as the paper argues — plus the per-fingerprint
+  *measurement corpus* every phase-2 run feeds;
+* :mod:`~repro.tune.transfer` — the learned-cost-model layer over that
+  corpus: residual-model training (``cost_model="learned"|"hybrid"``) and
+  transfer tuning from the nearest already-tuned neighbour in feature space.
 
 The original SpMM-only :func:`tune_spmm` entry point is kept for the
 Figure 12/13 harnesses.
 """
 
-from .autoscheduler import DEFAULT_MAX_TRIALS, STRATEGIES, autotune
+from .autoscheduler import COST_MODELS, DEFAULT_MAX_TRIALS, STRATEGIES, autotune
 from .records import (
     RECORDS_ENV_VAR,
     TuningRecord,
     TuningRecordStore,
     resolve_record_store,
 )
+from .transfer import TransferPlan, plan_transfer, task_features, train_from_corpus
 from .search_space import Choice, ParameterSpace, config_key
 from .spaces import (
     AttentionProblem,
@@ -50,6 +55,7 @@ from .tuner import TuningResult, grid_search, random_search, tune_spmm
 
 __all__ = [
     "AttentionProblem",
+    "COST_MODELS",
     "Choice",
     "DEFAULT_MAX_TRIALS",
     "InfeasibleConfig",
@@ -59,6 +65,7 @@ __all__ = [
     "SDDMMProblem",
     "SpMMProblem",
     "STRATEGIES",
+    "TransferPlan",
     "TuningRecord",
     "TuningRecordStore",
     "TuningResult",
@@ -68,9 +75,12 @@ __all__ = [
     "config_key",
     "get_workload",
     "grid_search",
+    "plan_transfer",
     "random_search",
     "register_workload",
     "resolve_record_store",
+    "task_features",
     "task_fingerprint",
+    "train_from_corpus",
     "tune_spmm",
 ]

@@ -32,12 +32,19 @@ import numpy as np
 
 from ..perf.device import DeviceSpec, V100
 from ..perf.gpu_model import estimate_us
-from .records import TuningRecord, resolve_record_store
+from ..perf.learned import FEATURE_VERSION, RidgeCostModel, feature_list, workload_features
+from .records import TuningRecord, _jsonable_config, resolve_record_store
 from .search_space import ParameterSpace, config_key
 from .spaces import InfeasibleConfig, WorkloadSpec, get_workload, task_fingerprint
+from .transfer import DEFAULT_MAX_DISTANCE, plan_transfer, task_features, train_from_corpus
 from .tuner import TuningResult
 
 STRATEGIES = ("grid", "random", "evolutionary", "successive_halving")
+
+#: Phase-1 ranking objectives: the analytic GPU model alone, the
+#: corpus-trained residual model alone, or the residual model only once it
+#: is confident (enough samples, tight residual) — the safe default upgrade.
+COST_MODELS = ("analytic", "learned", "hybrid")
 
 #: Default cap on phase-1 cost-model evaluations for the sampling strategies.
 DEFAULT_MAX_TRIALS = 64
@@ -48,35 +55,82 @@ DEFAULT_MAX_TRIALS = 64
 # ---------------------------------------------------------------------------
 
 class _Predictor:
-    """Memoised cost-model objective over canonical configurations."""
+    """Memoised cost-model objective over canonical configurations.
 
-    def __init__(self, spec: WorkloadSpec, problem: Any, device: DeviceSpec):
+    ``cost`` returns the phase-1 *ranking score*: the analytic estimate, or —
+    when a corpus-trained :class:`RidgeCostModel` is attached — the analytic
+    estimate times the learned residual correction.  The raw analytic price
+    and the feature vector of every priced configuration stay available for
+    the tuning record and the measurement corpus.
+    """
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        problem: Any,
+        device: DeviceSpec,
+        model: Optional[RidgeCostModel] = None,
+        collect_features: bool = False,
+    ):
         self.spec = spec
         self.problem = problem
         self.device = device
+        self.model = model
+        self.collect_features = collect_features or model is not None
         self.memo: Dict = {}
         self.costs: Dict[Tuple, float] = {}
+        self.analytic: Dict[Tuple, float] = {}
+        self.features: Dict[Tuple, List[float]] = {}
         self.history: List[Dict[str, Any]] = []
 
     def cost(self, config: Dict[str, Any]) -> float:
-        """Predicted duration (us) of *config*; ``inf`` when infeasible."""
+        """Ranking score of *config*; ``inf`` when infeasible."""
         key = config_key(self.spec.canonical(config))
         if key in self.costs:
             return self.costs[key]
+        features: Optional[List[float]] = None
         try:
             workload = self.spec.predict(self.problem, config, self.device, self.memo)
-            cost = float(estimate_us(workload, self.device))
+            analytic = float(estimate_us(workload, self.device))
+            if self.collect_features:
+                features = feature_list(workload_features(workload, self.device))
+                self.features[key] = features
         except InfeasibleConfig:
-            cost = float("inf")
-        self.costs[key] = cost
-        self.history.append(
-            {
-                "phase": "predict",
-                "config": dict(config),
-                "predicted_us": None if cost == float("inf") else cost,
-            }
-        )
-        return cost
+            analytic = float("inf")
+        score = analytic
+        if self.model is not None and features is not None and analytic != float("inf"):
+            score = float(self.model.predict_us(features, analytic))
+        self.costs[key] = score
+        self.analytic[key] = analytic
+        entry = {
+            "phase": "predict",
+            "config": dict(config),
+            "predicted_us": None if analytic == float("inf") else analytic,
+        }
+        if self.model is not None:
+            entry["score"] = None if score == float("inf") else score
+        self.history.append(entry)
+        return score
+
+    def analytic_us(self, config: Dict[str, Any]) -> float:
+        """The uncorrected analytic estimate of *config*."""
+        key = config_key(self.spec.canonical(config))
+        if key not in self.analytic:
+            self.cost(config)
+        return self.analytic[key]
+
+    def features_of(self, config: Dict[str, Any]) -> Optional[List[float]]:
+        """The feature vector of *config* (``None`` when infeasible)."""
+        key = config_key(self.spec.canonical(config))
+        if key in self.features:
+            return self.features[key]
+        try:
+            workload = self.spec.predict(self.problem, config, self.device, self.memo)
+        except InfeasibleConfig:
+            return None
+        features = feature_list(workload_features(workload, self.device))
+        self.features[key] = features
+        return features
 
     @property
     def evaluated(self) -> int:
@@ -193,7 +247,7 @@ def _phase2_measure(
     halving: bool,
     seed: int,
     fingerprint: str,
-    history: List[Dict[str, Any]],
+    predictor: _Predictor,
     forced: Optional[List[Tuple[float, Dict[str, Any]]]] = None,
 ) -> List[Tuple[float, float, Dict[str, Any]]]:
     """Measure the best-predicted survivors; returns (seconds, us, config).
@@ -257,11 +311,11 @@ def _phase2_measure(
                     best, _measure_once(lambda: spec.run(session, problem, config, inputs))
                 )
             timings[index] = (best, cost, config)
-            history.append(
+            predictor.history.append(
                 {
                     "phase": "measure",
                     "config": dict(config),
-                    "predicted_us": cost,
+                    "predicted_us": predictor.analytic_us(config),
                     "measured_s": best,
                     "repeats": round_repeats,
                 }
@@ -287,6 +341,10 @@ def autotune(
     records: Any = None,
     force: bool = False,
     include: Optional[List[Dict[str, Any]]] = None,
+    cost_model: str = "analytic",
+    transfer: bool = False,
+    transfer_max_distance: float = DEFAULT_MAX_DISTANCE,
+    corpus_min_samples: int = 8,
 ) -> TuningResult:
     """Search the workload's decomposition space and persist the winner.
 
@@ -317,6 +375,25 @@ def autotune(
             must be a member of the workload's space; infeasible baselines
             are skipped.  Requires ``survivors > 0`` (forcing baselines into
             a predict-only run would let the baseline win unmeasured).
+        cost_model: Phase-1 ranking objective.  ``"analytic"`` uses the GPU
+            model alone; ``"learned"`` multiplies it by the residual
+            correction of a :class:`~repro.perf.learned.RidgeCostModel`
+            trained on the store's measurement corpus; ``"hybrid"`` applies
+            the correction only once the model is *confident* (enough
+            corpus samples, tight training residual) and then also halves
+            the phase-2 survivor budget — fewer wallclock measurements for
+            the same search quality.  Without a record store both learned
+            modes silently degrade to the analytic ranking.
+        transfer: Seed phase 1 from the winning configurations of the
+            nearest corpus neighbour in feature space (a structurally
+            similar, already-tuned task).  Combined with a confident
+            learned model (and no ``include`` baselines) the neighbour's
+            knowledge replaces phase 2 entirely: the run is predict-only
+            and ``result.transferred_from`` names the source fingerprint.
+        transfer_max_distance: Relative feature-space distance bound for a
+            corpus entry to count as a near neighbour.
+        corpus_min_samples: Minimum corpus triples before a learned model
+            is trained at all (also its confidence floor).
 
     Returns:
         A :class:`~repro.tune.tuner.TuningResult`; ``result.replayed`` is
@@ -326,6 +403,8 @@ def autotune(
     spec = get_workload(workload)
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; use one of {STRATEGIES}")
+    if cost_model not in COST_MODELS:
+        raise ValueError(f"unknown cost_model {cost_model!r}; use one of {COST_MODELS}")
     store = resolve_record_store(records)
     fingerprint = task_fingerprint(spec, problem)
     space = spec.space(problem)
@@ -351,6 +430,7 @@ def autotune(
                 best_measured_s=record.measured_s,
                 replayed=True,
                 record=record,
+                cost_model=cost_model,
             )
 
     if include and survivors <= 0:
@@ -358,8 +438,47 @@ def autotune(
             "include= forces baselines into the measured set; it requires survivors > 0"
         )
 
-    predictor = _Predictor(spec, problem, device)
+    model: Optional[RidgeCostModel] = None
+    if cost_model in ("learned", "hybrid") and store is not None:
+        model = train_from_corpus(
+            store, workload=workload, min_samples=corpus_min_samples
+        )
+    use_model = model is not None and (cost_model == "learned" or model.confident)
+
+    # Feature vectors for unmeasured candidates are only needed when the
+    # model ranks with them; the corpus write recomputes the few measured
+    # ones on demand (``features_of``).
+    predictor = _Predictor(spec, problem, device, model=model if use_model else None)
     ranked = _phase1_candidates(strategy, space, predictor, max_trials, seed)
+
+    reference_features = None
+    if store is not None:
+        reference_features = task_features(spec, problem, device, memo=predictor.memo)
+
+    plan = None
+    if transfer and store is not None:
+        plan = plan_transfer(
+            store,
+            spec,
+            problem,
+            device,
+            fingerprint,
+            features=reference_features,
+            max_distance=transfer_max_distance,
+            memo=predictor.memo,
+        )
+        if plan is not None:
+            # Seed phase 1 with the neighbour's winners: price them and merge
+            # them into the ranked list even when sampling missed them.
+            seen = {config_key(spec.canonical(config)) for _, config in ranked}
+            for config in plan.seed_configs:
+                cost = predictor.cost(config)
+                key = config_key(spec.canonical(config))
+                if cost != float("inf") and key not in seen:
+                    seen.add(key)
+                    ranked.append((cost, config))
+            ranked.sort(key=lambda item: item[0])
+
     forced: List[Tuple[float, Dict[str, Any]]] = []
     for config in include or []:
         if not space.contains(config):
@@ -370,8 +489,18 @@ def autotune(
     if not ranked and not forced:
         raise ValueError(f"no feasible configuration for workload {workload!r}")
 
+    # A confident learned model needs fewer wallclock samples: halve the
+    # survivor budget, and with a transferred seed set skip phase 2 outright.
+    effective_survivors = survivors
+    confident = use_model and model is not None and model.confident
+    if confident and survivors > 1:
+        effective_survivors = max(1, survivors // 2)
+    transferred = bool(plan is not None and confident and not include and survivors > 0)
+    if transferred:
+        effective_survivors = 0
+
     measured: List[Tuple[float, float, Dict[str, Any]]] = []
-    if survivors > 0:
+    if effective_survivors > 0:
         if session is None:
             from ..runtime.session import Session
 
@@ -381,26 +510,41 @@ def autotune(
             problem,
             session,
             ranked,
-            survivors,
+            effective_survivors,
             repeats,
             halving=(strategy == "successive_halving"),
             seed=seed,
             fingerprint=fingerprint,
-            history=predictor.history,
+            predictor=predictor,
             forced=forced,
         )
 
     if measured:
-        best_seconds, best_predicted, best_config = measured[0]
+        best_seconds, _, best_config = measured[0]
         best_cost: float = best_seconds
         best_measured: Optional[float] = best_seconds
     else:
         if not ranked:
             raise ValueError(f"no feasible configuration for workload {workload!r}")
-        best_predicted, best_config = ranked[0]
-        best_cost = best_predicted
+        _, best_config = ranked[0]
+        best_cost = predictor.cost(best_config)
         best_measured = None
+    best_predicted = predictor.analytic_us(best_config)
 
+    measured_configs, timed_runs = _persist_corpus(
+        store, spec, predictor, fingerprint, workload, reference_features
+    )
+
+    metadata: Dict[str, Any] = {
+        "device": device.name,
+        "space_size": len(space),
+        "cost_model": cost_model,
+        "corpus_samples": model.n_samples if model is not None else 0,
+    }
+    if plan is not None:
+        metadata["transfer_from"] = plan.source_fingerprint
+        metadata["transfer_distance"] = plan.distance
+        metadata["transferred"] = transferred
     record = TuningRecord(
         fingerprint=fingerprint,
         workload=workload,
@@ -410,7 +554,7 @@ def autotune(
         evaluated=predictor.evaluated,
         strategy=strategy,
         seed=seed,
-        metadata={"device": device.name, "space_size": len(space)},
+        metadata=metadata,
     )
     if store is not None:
         store.put(record)
@@ -429,4 +573,56 @@ def autotune(
         best_measured_s=best_measured,
         replayed=False,
         record=record,
+        cost_model=cost_model,
+        transferred_from=plan.source_fingerprint if transferred else None,
+        transfer_distance=plan.distance if transferred else None,
+        measured_configs=measured_configs,
+        timed_runs=timed_runs,
     )
+
+
+def _persist_corpus(
+    store: Any,
+    spec: WorkloadSpec,
+    predictor: _Predictor,
+    fingerprint: str,
+    workload: str,
+    reference_features: Any,
+) -> Tuple[int, int]:
+    """Persist this run's phase-2 triples; returns (measured configs, timed runs).
+
+    Every measured configuration contributes its best wallclock together
+    with its feature vector and analytic price — the training data of the
+    learned cost model.  The counts are returned for the
+    :class:`TuningResult` regardless of whether a store is attached.
+    """
+    best_by_config: Dict[str, Dict[str, Any]] = {}
+    timed_runs = 0
+    for entry in predictor.history:
+        if entry.get("phase") != "measure":
+            continue
+        timed_runs += int(entry.get("repeats", 1))
+        config = entry["config"]
+        features = predictor.features_of(config)
+        if features is None:
+            continue
+        key = repr(config_key(spec.canonical(config)))
+        previous = best_by_config.get(key)
+        if previous is None or entry["measured_s"] < previous["measured_s"]:
+            best_by_config[key] = {
+                "features": features,
+                "predicted_us": entry["predicted_us"],
+                "measured_s": entry["measured_s"],
+                "config": _jsonable_config(config),
+            }
+    if store is not None and best_by_config:
+        store.add_corpus(
+            fingerprint,
+            workload,
+            [best_by_config[key] for key in sorted(best_by_config)],
+            task_features=(
+                feature_list(reference_features) if reference_features is not None else None
+            ),
+            feature_version=FEATURE_VERSION,
+        )
+    return len(best_by_config), timed_runs

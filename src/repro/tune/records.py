@@ -19,6 +19,13 @@ The on-disk store follows the same discipline as
   mismatch) as a miss, count it in ``stats.errors`` and discard the entry;
 * the root directory is ``$REPRO_TUNING_RECORDS`` (values ``0``/``off``/...
   disable the store) or ``~/.cache/repro-tuning`` when asked for explicitly.
+
+Next to the per-fingerprint *record* the store also keeps a per-fingerprint
+*measurement corpus* under ``<root>/corpus-v<CORPUS_SCHEMA_VERSION>/``: every
+phase-2 (feature_vector, predicted_us, measured_s) triple the autoscheduler
+produces, with the same atomic-write/corruption-tolerant discipline.  The
+corpus is the training set of :class:`~repro.perf.learned.RidgeCostModel`
+and the neighbour index of :mod:`~repro.tune.transfer`.
 """
 
 from __future__ import annotations
@@ -32,6 +39,12 @@ from typing import Any, Dict, Optional, Union
 
 #: Bumped whenever the persisted record layout changes.
 RECORD_SCHEMA_VERSION = 1
+
+#: Bumped whenever the persisted corpus layout changes.
+CORPUS_SCHEMA_VERSION = 1
+
+#: Per-fingerprint cap on persisted measurement triples (oldest dropped).
+CORPUS_MAX_ENTRIES = 512
 
 #: Environment variable naming the on-disk record root.  Unset disables the
 #: persistent layer; the values ``0`` / ``off`` / ``false`` disable it too.
@@ -119,12 +132,47 @@ class TuningRecord:
         )
 
 
+def _validate_corpus_payload(payload: Any, fingerprint: str) -> Dict[str, Any]:
+    """Check one corpus payload's shape; raises on anything suspicious."""
+    if not isinstance(payload, dict):
+        raise TypeError("corpus payload is not a dict")
+    if payload.get("schema") != CORPUS_SCHEMA_VERSION:
+        raise ValueError(
+            f"corpus schema {payload.get('schema')} != {CORPUS_SCHEMA_VERSION}"
+        )
+    if payload.get("fingerprint") != fingerprint:
+        raise ValueError("corpus fingerprint mismatch (renamed or corrupted file)")
+    if not isinstance(payload.get("workload"), str):
+        raise TypeError("corpus workload is not a string")
+    if not isinstance(payload.get("feature_version"), int):
+        raise TypeError("corpus feature_version is not an int")
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        raise TypeError("corpus entries is not a list")
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise TypeError("corpus entry is not a dict")
+        features = entry.get("features")
+        if not isinstance(features, list) or not all(
+            isinstance(v, (int, float)) for v in features
+        ):
+            raise TypeError("corpus entry features is not a numeric list")
+        for key in ("predicted_us", "measured_s"):
+            if not isinstance(entry.get(key), (int, float)):
+                raise TypeError(f"corpus entry {key} is not numeric")
+    return payload
+
+
 @dataclass
 class _StoreStats:
     hits: int = 0
     misses: int = 0
     errors: int = 0
     writes: int = 0
+    corpus_hits: int = 0
+    corpus_misses: int = 0
+    corpus_errors: int = 0
+    corpus_writes: int = 0
 
 
 class TuningRecordStore:
@@ -139,6 +187,7 @@ class TuningRecordStore:
                 root = env
         self.root = Path(root).expanduser()
         self.dir = self.root / f"v{RECORD_SCHEMA_VERSION}"
+        self.corpus_dir = self.root / f"corpus-v{CORPUS_SCHEMA_VERSION}"
         self.stats = _StoreStats()
 
     @classmethod
@@ -184,17 +233,16 @@ class TuningRecordStore:
         return record
 
     # -- write -----------------------------------------------------------------
-    def put(self, record: TuningRecord) -> None:
-        """Persist one record atomically; failures are swallowed (best-effort)."""
-        path = self._path(record.fingerprint)
+    def _atomic_write_json(self, path: Path, payload: Dict[str, Any]) -> bool:
+        """Write ``payload`` to ``path`` via tmp-file + ``os.replace``."""
         try:
-            self.dir.mkdir(parents=True, exist_ok=True)
+            path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
                 dir=str(path.parent), prefix=path.name, suffix=".tmp"
             )
             try:
                 with os.fdopen(fd, "w") as handle:
-                    json.dump(record.to_json(), handle, indent=2, sort_keys=True)
+                    json.dump(payload, handle, indent=2, sort_keys=True)
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -203,19 +251,106 @@ class TuningRecordStore:
                     pass
                 raise
         except (OSError, TypeError, ValueError):
-            # Best-effort: an unwritable directory or an unserialisable
-            # config costs the persisted record, never the tuning result.
+            return False
+        return True
+
+    def put(self, record: TuningRecord) -> None:
+        """Persist one record atomically; failures are swallowed (best-effort)."""
+        # Best-effort: an unwritable directory or an unserialisable
+        # config costs the persisted record, never the tuning result.
+        if self._atomic_write_json(self._path(record.fingerprint), record.to_json()):
+            self.stats.writes += 1
+        else:
             self.stats.errors += 1
-            return
-        self.stats.writes += 1
+
+    # -- measurement corpus ------------------------------------------------------
+    def _corpus_path(self, fingerprint: str) -> Path:
+        return self.corpus_dir / f"{fingerprint}.json"
+
+    def get_corpus(
+        self, fingerprint: str, feature_version: Optional[int] = None
+    ) -> Optional[Dict[str, Any]]:
+        """Load one fingerprint's corpus payload, or ``None``.
+
+        Misses, truncated/corrupt files, schema skew and (when
+        ``feature_version`` is given) feature-layout skew all return ``None``;
+        damaged or stale files are discarded so they cannot poison training.
+        """
+        path = self._corpus_path(fingerprint)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.corpus_misses += 1
+            return None
+        try:
+            payload = _validate_corpus_payload(json.loads(text), fingerprint)
+            if feature_version is not None and payload["feature_version"] != feature_version:
+                raise ValueError("corpus feature-version skew")
+        except Exception:
+            self.stats.corpus_errors += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.corpus_hits += 1
+        return payload
+
+    def add_corpus(
+        self,
+        fingerprint: str,
+        workload: str,
+        entries: Any,
+        task_features: Any = None,
+        feature_version: int = 0,
+        cap: int = CORPUS_MAX_ENTRIES,
+    ) -> None:
+        """Append measurement triples to one fingerprint's corpus (best-effort).
+
+        Each entry is ``{"features", "predicted_us", "measured_s", "config"}``.
+        The merged list keeps the most recent ``cap`` entries; a payload whose
+        workload or feature version no longer matches is reset rather than
+        mixed.
+        """
+        existing = self.get_corpus(fingerprint, feature_version)
+        if existing is not None and existing["workload"] != workload:
+            existing = None
+        merged = list(existing["entries"]) if existing else []
+        merged.extend(_jsonable_value(entry) for entry in entries)
+        if cap > 0:
+            merged = merged[-cap:]
+        if task_features is None and existing is not None:
+            task_features = existing.get("task_features")
+        payload = {
+            "schema": CORPUS_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "workload": workload,
+            "feature_version": feature_version,
+            "task_features": _jsonable_value(task_features),
+            "entries": merged,
+        }
+        if self._atomic_write_json(self._corpus_path(fingerprint), payload):
+            self.stats.corpus_writes += 1
+        else:
+            self.stats.corpus_errors += 1
+
+    def corpus_fingerprints(self) -> list:
+        """Fingerprints with a corpus file, sorted for deterministic training."""
+        if not self.corpus_dir.is_dir():
+            return []
+        return sorted(path.stem for path in self.corpus_dir.glob("*.json"))
+
+    def corpus_size(self) -> int:
+        return len(self.corpus_fingerprints())
 
     def clear(self) -> None:
-        if self.dir.is_dir():
-            for path in self.dir.iterdir():
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+        for directory in (self.dir, self.corpus_dir):
+            if directory.is_dir():
+                for path in directory.iterdir():
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
 
     def __repr__(self) -> str:
         return f"TuningRecordStore({str(self.root)!r}, records={len(self)})"

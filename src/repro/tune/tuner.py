@@ -43,6 +43,16 @@ class TuningResult:
     best_measured_s: Optional[float] = None
     replayed: bool = False
     record: Any = None
+    #: Phase-1 ranking objective the run used ("analytic"/"learned"/"hybrid").
+    cost_model: str = "analytic"
+    #: Fingerprint of the corpus neighbour whose seeds replaced phase 2
+    #: (transfer tuning), or ``None`` for an ordinary run.
+    transferred_from: Optional[str] = None
+    transfer_distance: Optional[float] = None
+    #: Distinct configurations that reached wallclock measurement, and the
+    #: total number of timed runs spent on them (0 when replayed).
+    measured_configs: int = 0
+    timed_runs: int = 0
 
     def __repr__(self) -> str:
         cost = "None" if self.best_cost is None else f"{self.best_cost:.3g}"

@@ -1,11 +1,16 @@
 """Unit tests for the device specs, workload descriptions and GPU cost model."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
+from repro.core import Schedule, build, lower_sparse_iterations
+from repro.ops.spmm import build_spmm_program
 from repro.perf.cache import CacheHierarchy, LRUCache, reuse_distance_hit_rate
 from repro.perf.device import RTX3070, V100, device_by_name
-from repro.perf.gpu_model import GPUModel, PerfReport
+from repro.perf.gpu_model import GPUModel, PerfReport, profile_kernel
+from repro.perf.kernel_features import extract_workload
 from repro.perf.tensor_core import MMA_SHAPES, cuda_core_time_us, mma_tiles, padding_waste, tensor_core_time_us
 from repro.perf.workload import BlockGroup, KernelWorkload
 
@@ -26,6 +31,11 @@ class TestDevice:
     def test_v100_has_more_bandwidth_than_rtx3070(self):
         assert V100.hbm_bandwidth_gbs > RTX3070.hbm_bandwidth_gbs
         assert V100.tensor_core_tflops > RTX3070.tensor_core_tflops
+
+    def test_float64_rate_below_float32(self):
+        for device in (V100, RTX3070):
+            assert device.flops_per_us("float64") < device.flops_per_us("float32")
+        assert V100.flops_per_us("float64") == pytest.approx(7.8e6)
 
 
 class TestWorkload:
@@ -133,6 +143,69 @@ class TestGPUModel:
         model = GPUModel(V100)
         empty = KernelWorkload("e", [BlockGroup("g", 0, 32, 0.0, 0.0)])
         assert model.estimate(empty).duration_us <= V100.kernel_launch_us + V100.dram_latency_us + 1e-6
+
+    def test_vector_efficiency_monotonic_over_widths(self):
+        # Widths 3/5/6/7 used to fall through to efficiency 1.0, pricing a
+        # width-3 load *better* than width-4; the floored lookup makes wider
+        # accesses never slower on a memory-bound group.
+        model = GPUModel(V100)
+        durations = []
+        for width in range(1, 9):
+            group = self.make_group(flops_per_block=10.0, dram_read_bytes_per_block=1e6,
+                                    num_blocks=2048, vector_width=width)
+            durations.append(model.estimate(KernelWorkload("v", [group])).duration_us)
+        for narrow, wide in zip(durations, durations[1:]):
+            assert wide <= narrow + 1e-9
+        # And the known widths still differ (the factor is not flat).
+        assert durations[0] > durations[3]
+
+
+class TestKernelFeatureExtraction:
+    """Regressions for the IR-based feature extraction bugfixes."""
+
+    def _kernel(self, csr, rng, feat=8, dtype="float32", cache_write=False):
+        features = rng.standard_normal((csr.cols, feat)).astype(dtype)
+        func = build_spmm_program(csr, feat, features, dtype=dtype)
+        if not cache_write:
+            return build(func)
+        schedule = Schedule(lower_sparse_iterations(func))
+        schedule.cache_write("spmm_compute", "C", "local")
+        return build(schedule.func)
+
+    def test_register_caching_not_forced(self, small_csr, rng):
+        # A kernel without cache_write must not report register caching
+        # (``register_caching or True`` used to pin it on for every group).
+        workload = extract_workload(self._kernel(small_csr, rng))
+        assert workload.groups
+        assert not any(group.register_caching for group in workload.groups)
+
+    def test_cache_write_annotation_sets_register_caching(self, small_csr, rng):
+        workload = extract_workload(self._kernel(small_csr, rng, cache_write=True))
+        assert any(group.register_caching for group in workload.groups)
+
+    def test_spill_traffic_raises_uncached_estimate(self, small_csr, rng):
+        # With the flag honestly False the spill penalties in the GPU model
+        # are live again: the same workload priced with register caching
+        # switched on must be strictly cheaper.
+        workload = extract_workload(self._kernel(small_csr, rng))
+        model = GPUModel(V100)
+        spilled = model.estimate(workload).duration_us
+        cached = model.estimate(
+            KernelWorkload(
+                name=workload.name,
+                groups=[dataclasses.replace(g, register_caching=True) for g in workload.groups],
+                num_launches=workload.num_launches,
+                memory_footprint_bytes=workload.memory_footprint_bytes,
+            )
+        ).duration_us
+        assert spilled > cached
+
+    def test_float64_spmm_estimate_exceeds_float32_twin(self, small_csr, rng):
+        f32 = profile_kernel(self._kernel(small_csr, rng, dtype="float32"), V100)
+        f64 = profile_kernel(self._kernel(small_csr, rng, dtype="float64"), V100)
+        assert f64.duration_us > f32.duration_us
+        workload = extract_workload(self._kernel(small_csr, rng, dtype="float64"))
+        assert any(group.dtype == "float64" for group in workload.groups)
 
 
 class TestCache:
