@@ -1,8 +1,8 @@
-"""Backend-tier wall-clock harness: interpreter vs vectorized vs emitted.
+"""Backend-tier wall-clock harness: interpreter / vectorized / emitted / native.
 
 Unlike the other benchmark modules (which drive the GPU *performance model*),
-this harness measures real execution time of the three NumPy dispatch tiers
-on the executable fig-13 (graph SpMM), fig-14 (graph SDDMM) and fig-16
+this harness measures real execution time of the four dispatch tiers on the
+executable fig-13 (graph SpMM), fig-14 (graph SDDMM) and fig-16
 (sparse-attention) workloads, and writes ``BENCH_backends.json`` at the
 repository root — the perf trajectory the CI ``bench-smoke`` job uploads as
 an artifact.
@@ -14,6 +14,18 @@ once per structure through a :class:`Session` (compile-once), then each tier
 is timed on the cached kernel; the interpreter is skipped (reported as
 ``null``) above a lane budget where a single scalar-interpreted run would
 dominate the whole harness.
+
+The native (compiled C) column needs care the slower tiers do not: its
+margin over the emitted tier is the one this harness gates on, and both
+closures co-reside in one process whose allocator/cache state drifts over a
+run.  Native and emitted are therefore measured in *interleaved paired
+rounds* (alternate single runs, median per tier) and the reported ratio is
+``median(emitted) / median(native)`` — the same methodology as
+``benchmarks/test_graph_fusion.py``.  On a machine without a C toolchain
+the native column is recorded as ``null`` and the harness still passes
+(graceful fallback is part of the acceptance contract).  Every workload
+with a native run also asserts bit-exact (``np.array_equal``) agreement
+with the emitted tier.
 """
 
 import json
@@ -65,8 +77,35 @@ def _best_seconds(fn, repeats=3):
     return best
 
 
-def _time_tiers(kernel, lanes, repeats=3):
-    """Best-of-N seconds per tier on an already-built kernel."""
+def _paired_medians(fn_a, fn_b, rounds):
+    """Interleaved paired timing; returns (median a, median b) seconds.
+
+    Alternating single runs sample both closures under the same
+    allocator/cache conditions; a block of one then a block of the other
+    picks up process drift as a spurious bias in either direction.
+    """
+    a_times, b_times = [], []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn_a()
+        a_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        fn_b()
+        b_times.append(time.perf_counter() - start)
+    return float(np.median(a_times)), float(np.median(b_times))
+
+
+def _time_tiers(kernel, lanes, repeats=3, rounds=9):
+    """Seconds per tier on an already-built kernel.
+
+    Emitted / vectorized / interpreter report best-of-N (the historical
+    columns); native vs emitted is measured in interleaved paired rounds
+    and reported as per-tier medians (``native_s`` / ``emitted_paired_s``).
+    ``native_s`` is ``None`` when the tier is unavailable — no toolchain,
+    or a program outside the C emitter's fragment.
+    """
+    from repro.runtime.vectorized import UnsupportedProgram
+
     timings = {}
     kernel.run(engine="emitted")  # warm-up compiles the plan once
     timings["emitted_s"] = _best_seconds(lambda: kernel.run(engine="emitted"), repeats)
@@ -76,11 +115,34 @@ def _time_tiers(kernel, lanes, repeats=3):
         timings["interpreter_s"] = _best_seconds(lambda: kernel.run(engine="interpret"), 1)
     else:
         timings["interpreter_s"] = None
+    try:
+        kernel.run(engine="native")  # warm-up: compile (or load) the .so once
+    except UnsupportedProgram:
+        timings["native_s"] = None
+        timings["emitted_paired_s"] = None
+        return timings
+    native_s, emitted_s = _paired_medians(
+        lambda: kernel.run(engine="native"),
+        lambda: kernel.run(engine="emitted"),
+        rounds,
+    )
+    timings["native_s"] = native_s
+    timings["emitted_paired_s"] = emitted_s
     return timings
 
 
-def _record(results, figure, workload, kernel, lanes, repeats=3):
-    timings = _time_tiers(kernel, lanes, repeats)
+def _record(results, figure, workload, kernel, lanes, repeats=3, rounds=9):
+    timings = _time_tiers(kernel, lanes, repeats, rounds)
+    native_speedup = None
+    if timings["native_s"] is not None:
+        # Acceptance contract: the native tier is bit-exact with the
+        # emitted tier on every measured workload.
+        emitted_out = kernel.run(engine="emitted")
+        native_out = kernel.run(engine="native")
+        for name in emitted_out:
+            assert emitted_out[name].dtype == native_out[name].dtype, (workload, name)
+            assert np.array_equal(emitted_out[name], native_out[name]), (workload, name)
+        native_speedup = timings["emitted_paired_s"] / timings["native_s"]
     entry = {
         "figure": figure,
         "workload": workload,
@@ -92,11 +154,19 @@ def _record(results, figure, workload, kernel, lanes, repeats=3):
             if timings["interpreter_s"]
             else None
         ),
+        "speedup_native_vs_emitted": native_speedup,
+        # True when measured (asserted above); null when the tier is absent.
+        "native_bit_exact": True if native_speedup is not None else None,
     }
     results.append(entry)
+    native_col = (
+        f"native {timings['native_s'] * 1e3:8.2f} ms   x{native_speedup:.2f} vs emitted"
+        if native_speedup is not None
+        else "native     (unavailable)"
+    )
     print(
         f"{figure:18s} {workload:38s} emitted {timings['emitted_s'] * 1e3:8.2f} ms   "
-        f"x{entry['speedup_emitted_vs_vectorized']:.2f} vs vectorized"
+        f"x{entry['speedup_emitted_vs_vectorized']:.2f} vs vectorized   {native_col}"
     )
 
 
@@ -138,35 +208,67 @@ def _run_suite(mode, shapes, output):
         _record(results, "fig16-attention", f"band-s{seq}-b{band}-h{heads}-f{feat}-spmm",
                 kernel, heads * mask.nnz * feat)
 
+    from repro.core.codegen.emit_c import toolchain_available
+
     speedups = [r["speedup_emitted_vs_vectorized"] for r in results]
     fig13 = [r["speedup_emitted_vs_vectorized"] for r in results if r["figure"] == "fig13-spmm"]
+    native = [r["speedup_native_vs_emitted"] for r in results
+              if r["speedup_native_vs_emitted"] is not None]
+    native_fig13 = [r["speedup_native_vs_emitted"] for r in results
+                    if r["figure"] == "fig13-spmm" and r["speedup_native_vs_emitted"] is not None]
+
+    def _geomean(values):
+        return float(np.exp(np.mean(np.log(values)))) if values else None
+
     payload = {
-        "schema": 1,
+        "schema": 2,
         "harness": "benchmarks/test_backends.py",
         "mode": mode,
         "numpy": np.__version__,
-        "tiers": ["emitted", "vectorized", "interpreter"],
+        "tiers": ["native", "emitted", "vectorized", "interpreter"],
+        "native_toolchain": toolchain_available(),
+        "methodology": {
+            "emitted/vectorized/interpreter": "best-of-N single runs",
+            "native_vs_emitted": "interleaved paired rounds; "
+                                 "ratio = median(emitted)/median(native)",
+        },
         "results": results,
         "summary": {
-            "geomean_emitted_vs_vectorized": float(np.exp(np.mean(np.log(speedups)))),
-            "geomean_emitted_vs_vectorized_fig13": float(np.exp(np.mean(np.log(fig13)))),
+            "geomean_emitted_vs_vectorized": _geomean(speedups),
+            "geomean_emitted_vs_vectorized_fig13": _geomean(fig13),
             "min_emitted_vs_vectorized_fig13": float(min(fig13)),
+            "geomean_native_vs_emitted": _geomean(native),
+            "geomean_native_vs_emitted_fig13": _geomean(native_fig13),
+            "min_native_vs_emitted": float(min(native)) if native else None,
         },
     }
     output.write_text(json.dumps(payload, indent=2) + "\n")
+    native_note = (
+        f", geomean native vs emitted: x{payload['summary']['geomean_native_vs_emitted']:.2f}"
+        if native
+        else ", native tier unavailable (no C toolchain)"
+    )
     print(f"\nwrote {output} (geomean emitted vs vectorized: "
-          f"x{payload['summary']['geomean_emitted_vs_vectorized']:.2f})")
+          f"x{payload['summary']['geomean_emitted_vs_vectorized']:.2f}{native_note})")
     return payload
 
 
 @pytest.mark.figure("backends")
 def test_backend_smoke():
-    """Tiny-shape run for the CI ``bench-smoke`` job (artifact upload)."""
+    """Tiny-shape run for the CI ``bench-smoke`` job (artifact upload).
+
+    Smoke asserts structure (positive timings, bit-exact native when
+    present) but no speedup gates: toy shapes are noise-dominated.  With no
+    C toolchain every native column is ``null`` and the run still passes.
+    """
     payload = _run_suite("smoke", SMOKE_SHAPES, SMOKE_OUTPUT)
     assert SMOKE_OUTPUT.exists()
     for row in payload["results"]:
         assert row["emitted_s"] > 0 and row["vectorized_s"] > 0
         assert row["interpreter_s"] is None or row["interpreter_s"] > 0
+        assert row["native_s"] is None or row["native_s"] > 0
+        if not payload["native_toolchain"]:
+            assert row["native_s"] is None
 
 
 @pytest.mark.slow
@@ -175,6 +277,10 @@ def test_backend_smoke():
 def test_backend_full():
     """Paper-scale shapes; the committed ``BENCH_backends.json`` comes from
     this run.  Emitted must clearly beat the per-call-planning vectorized
-    tier on the fig-13 SpMM shapes (the compile-once/run-many claim)."""
+    tier on the fig-13 SpMM shapes (the compile-once/run-many claim), and —
+    when a C toolchain is present — the native tier must beat emitted by
+    >= 1.5x geomean on the same shapes (paired-median ratios)."""
     payload = _run_suite("full", FULL_SHAPES, OUTPUT)
     assert payload["summary"]["geomean_emitted_vs_vectorized_fig13"] >= 1.5
+    if payload["native_toolchain"]:
+        assert payload["summary"]["geomean_native_vs_emitted_fig13"] >= 1.5

@@ -14,7 +14,7 @@ from .cuda_like import emit_cuda_source
 from .fusion import launch_count
 
 #: Execution tiers of :meth:`Kernel.run`, fastest first.
-ENGINES = ("emitted", "vectorized", "interpret")
+ENGINES = ("native", "emitted", "vectorized", "interpret")
 
 
 class Kernel:
@@ -22,11 +22,14 @@ class Kernel:
 
     A kernel bundles the fully lowered (stage-III) program with
 
-    * a NumPy runtime (:meth:`run`) with three dispatch tiers: the emitted
-      stage-IV kernel (source generated once per structure, plan executed
-      once per process), the vectorized whole-array fast path, and the
-      element-by-element interpreter — tried in that order under ``"auto"``,
-      with automatic fallback whenever a tier rejects the program,
+    * a NumPy runtime (:meth:`run`) with four dispatch tiers: the native
+      compiled kernel (C source generated once per structure, compiled into
+      a shared object and shared across processes through the disk cache),
+      the emitted stage-IV NumPy kernel (source generated once per
+      structure, plan executed once per process), the vectorized
+      whole-array fast path, and the element-by-element interpreter — tried
+      in that order under ``"auto"``, with automatic fallback whenever a
+      tier rejects the program; every tier is bit-exact,
     * the emitted NumPy listing (:meth:`emitted_source`) and the pseudo-CUDA
       listing (:meth:`cuda_source`) produced by code generation, and
     * a hook for the GPU performance model (:meth:`profile`) which estimates
@@ -45,6 +48,8 @@ class Kernel:
         stage2: Optional[PrimFunc] = None,
         defaults: Optional[Mapping[str, np.ndarray]] = None,
         entry: Optional[CacheEntry] = None,
+        cache: Optional[KernelCache] = None,
+        key: Optional[str] = None,
     ):
         if func.stage != STAGE_LOOP:
             raise ValueError("Kernel requires a stage-III program; use build()")
@@ -56,8 +61,13 @@ class Kernel:
         self._vectorized: Any = None  # lazily built; False marks "unsupported"
         # The cache entry shares the emitted source and its compiled runner
         # across every kernel built from the same structure; an uncached
-        # kernel gets a private entry on first use.
+        # kernel gets a private entry on first use.  ``cache``/``key`` give
+        # the native tier access to the persistent artifact store (and the
+        # native hit/rebuild counters); an uncached kernel compiles into a
+        # process-local scratch directory instead.
         self._entry = entry
+        self._cache = cache
+        self._key = key
         self._aux_names = frozenset(buf.name for buf in func.aux_buffers)
 
     # -- execution ------------------------------------------------------------
@@ -69,11 +79,12 @@ class Kernel:
         """Execute the kernel and return every buffer's flat array.
 
         ``engine`` selects the backend: ``"auto"`` (default) tries the
-        emitted stage-IV kernel, then the vectorized fast path, then the
-        interpreter, silently falling back whenever a tier does not support
-        the program; ``"emitted"`` / ``"vectorized"`` require that tier
-        (raising if it does not apply); ``"interpret"`` forces the scalar
-        interpreter.  ``last_engine`` records the tier that served the run.
+        native compiled kernel, then the emitted stage-IV NumPy kernel, then
+        the vectorized fast path, then the interpreter, silently falling
+        back whenever a tier does not support the program; ``"native"`` /
+        ``"emitted"`` / ``"vectorized"`` require that tier (raising if it
+        does not apply); ``"interpret"`` forces the scalar interpreter.
+        ``last_engine`` records the tier that served the run.
         """
         from ...runtime.executor import Executor
         from ...runtime.vectorized import UnsupportedProgram, VectorizedExecutor
@@ -84,11 +95,22 @@ class Kernel:
 
         if engine not in ("auto",) + ENGINES:
             raise ValueError(f"unknown engine {engine!r}")
+        # The native and emitted plans bake the auxiliary (structural) arrays
+        # in, so a binding that overrides one would be silently ignored; such
+        # runs drop to the vectorized tier which reads them per call.
+        aux_override = bindings and any(name in self._aux_names for name in bindings)
+        if engine in ("auto", "native"):
+            runner = None if aux_override else self._native_runner()
+            if runner is not None:
+                result = runner(self._prepare(merged))
+                self.last_engine = "native"
+                return result
+            if engine == "native":
+                raise UnsupportedProgram(
+                    f"program {self.func.name!r} has no native kernel"
+                    + (" (auxiliary buffers rebound)" if aux_override else "")
+                )
         if engine in ("auto", "emitted"):
-            # The emitted plan bakes the auxiliary (structural) arrays in, so
-            # a binding that overrides one would be silently ignored; such
-            # runs drop to the vectorized tier which reads them per call.
-            aux_override = bindings and any(name in self._aux_names for name in bindings)
             runner = None if aux_override else self._emitted_runner()
             if runner is not None:
                 result = runner(self._prepare(merged))
@@ -159,6 +181,67 @@ class Kernel:
             return emit_numpy_source(self.func)
         except UnsupportedForEmission:
             return None
+
+    def _native_runner(self) -> Any:
+        """The compiled native (C) runner, or ``None`` when unavailable.
+
+        Mirrors :meth:`_emitted_runner`: built at most once per cache entry
+        under the entry lock, with any failure — no toolchain, the program
+        outside the C emitter's fragment, a compile or load error — marking
+        the entry so the fallback to the emitted tier is decided once.
+        """
+        entry = self._entry
+        if entry is None:
+            entry = self._entry = CacheEntry(lowered=self.func, source=self._emit_source())
+        if entry.native_runner is False:
+            return None
+        if entry.native_runner is not None:
+            return entry.native_runner
+        with entry.lock:
+            if entry.native_runner is None:
+                entry.native_runner = self._build_native(entry) or False
+        return entry.native_runner or None
+
+    def _build_native(self, entry: CacheEntry) -> Any:
+        from .emit_c import emit_c_source, load_native, toolchain_available
+        from .emit_numpy import UnsupportedForEmission
+
+        if not toolchain_available():
+            return None
+        if entry.native is None:
+            try:
+                entry.native = emit_c_source(self.func)
+            except UnsupportedForEmission:
+                entry.native = False
+        if entry.native is False:
+            return None
+        c_source, glue_source = entry.native
+        disk = self._cache.disk if self._cache is not None else None
+        stats = self._cache.stats if self._cache is not None else None
+        try:
+            return load_native(
+                self.func, c_source, glue_source, disk=disk, key=self._key, stats=stats
+            )
+        except Exception:
+            # Compile failure, artifact load failure, or a plan that
+            # overflows the lane budget: the emitted tier takes over.
+            return None
+
+    def native_source(self) -> Optional[str]:
+        """The C module emitted for this kernel's native tier (``None`` when
+        the program falls outside the C emitter's fragment)."""
+        from .emit_c import emit_c_source
+        from .emit_numpy import UnsupportedForEmission
+
+        entry = self._entry
+        if entry is None:
+            entry = self._entry = CacheEntry(lowered=self.func, source=self._emit_source())
+        if entry.native is None:
+            try:
+                entry.native = emit_c_source(self.func)
+            except UnsupportedForEmission:
+                entry.native = False
+        return entry.native[0] if entry.native else None
 
     # -- code generation ---------------------------------------------------------
     def emitted_source(self) -> Optional[str]:
@@ -258,7 +341,12 @@ def build(
         entry = cache_obj.get(key)
         if entry is not None:
             return Kernel(
-                entry.lowered, stage2=entry.stage2, defaults=defaults, entry=entry
+                entry.lowered,
+                stage2=entry.stage2,
+                defaults=defaults,
+                entry=entry,
+                cache=cache_obj,
+                key=key,
             )
         # Cache miss: claim the single-flight slot, so concurrent builders of
         # the same structure — threads of this process, or cold processes
@@ -269,7 +357,12 @@ def build(
             flight.done()
             entry = flight.entry
             return Kernel(
-                entry.lowered, stage2=entry.stage2, defaults=defaults, entry=entry
+                entry.lowered,
+                stage2=entry.stage2,
+                defaults=defaults,
+                entry=entry,
+                cache=cache_obj,
+                key=key,
             )
 
     try:
@@ -302,7 +395,9 @@ def build(
         except UnsupportedForEmission:
             source = None
         entry = cache_obj.put(key, func, stage2=stage2, source=source)
-        return Kernel(func, stage2=stage2, defaults=defaults, entry=entry)
+        return Kernel(
+            func, stage2=stage2, defaults=defaults, entry=entry, cache=cache_obj, key=key
+        )
     finally:
         if flight is not None:
             flight.done()

@@ -152,6 +152,11 @@ class CacheStats:
     disk_errors: int = 0
     lowerings: int = 0
     emissions: int = 0
+    #: Native (.so) artifacts loaded from disk without invoking the compiler.
+    native_hits: int = 0
+    #: Native artifacts built by actually running the C compiler (cold cache,
+    #: version/platform skew, or corruption — skew always rebuilds).
+    native_rebuilds: int = 0
     #: Flights claimed as owner (the caller went on to lower the program).
     flight_builds: int = 0
     #: Flights resolved by another builder's entry (thread or process).
@@ -185,12 +190,20 @@ class CacheEntry:
     compiled ``run(arrays)`` closure: ``None`` until first use, ``False``
     after a failed compile/plan (so the fallback is decided once), and the
     callable afterwards.  ``lock`` serialises that lazy compilation.
+
+    The native tier mirrors that protocol: ``native`` holds the emitted
+    ``(c_source, glue_source)`` pair (``None`` unset, ``False`` outside the
+    C emitter's fragment) and ``native_runner`` the compiled-and-loaded
+    closure.  Both are per-process — only the shared object itself persists,
+    in the disk layer keyed by source hash, platform and ABI.
     """
 
     lowered: PrimFunc
     stage2: Optional[PrimFunc] = None
     source: Optional[str] = None
     runner: Any = None
+    native: Any = None
+    native_runner: Any = None
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
 
@@ -204,7 +217,14 @@ class DiskKernelCache:
       program and emitted source;
     * ``<fingerprint>.py`` — the emitted source as a readable Python file
       (informational; never loaded back);
-    * ``<fingerprint>.json`` — human-readable metadata (informational).
+    * ``<fingerprint>.json`` — human-readable metadata, plus the ``native``
+      validity record (see below);
+    * ``<fingerprint>.c`` / ``<fingerprint>.so`` — the native tier's emitted
+      C source and compiled shared object.  The ``.so`` is only ever loaded
+      when the json's ``native`` record matches the current native-emitter
+      version, the hash of the freshly re-emitted C source, and this
+      machine's platform + Python ABI tags — any skew is a miss that
+      recompiles and republishes, never an import of a stale artifact.
 
     Writes go through a temporary file in the same directory followed by an
     atomic :func:`os.replace`, so concurrent writers can never leave a
@@ -310,6 +330,14 @@ class DiskKernelCache:
         }
         pkl_path, py_path, json_path = self._paths(key)
         try:
+            # Preserve an existing native validity record: the numpy payload
+            # and the compiled artifact are written by different code paths.
+            existing = json.loads(json_path.read_text())
+            if isinstance(existing, dict) and "native" in existing:
+                meta["native"] = existing["native"]
+        except (OSError, ValueError):
+            pass
+        try:
             self.dir.mkdir(parents=True, exist_ok=True)
             self._atomic_write(pkl_path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
             if entry.source is not None:
@@ -335,11 +363,103 @@ class DiskKernelCache:
             raise
 
     def _discard(self, key: str) -> None:
-        for path in self._paths(key):
+        for path in self._paths(key) + self._native_paths(key):
             try:
                 path.unlink()
             except OSError:
                 pass
+
+    # -- native artifacts ------------------------------------------------------
+    def _native_paths(self, key: str) -> Tuple[Path, Path]:
+        base = self.dir / key
+        return base.with_suffix(".c"), base.with_suffix(".so")
+
+    def get_native(self, key: str, sha: str) -> Optional[Path]:
+        """Path of a valid compiled artifact for *key*, or ``None`` on miss.
+
+        Valid means: the json metadata carries a ``native`` record whose
+        emitter version, source hash, platform tag and Python ABI all match
+        this process, and the ``.so`` exists.  Anything else — missing or
+        unreadable metadata, version/platform/ABI skew, a hash that does not
+        match the re-emitted source, a planted or truncated file — is a miss
+        (the skewed artifact is dropped best-effort so it cannot be retried).
+        """
+        from .emit_c import NATIVE_VERSION, native_tag
+
+        so_path = self._native_paths(key)[1]
+        json_path = self._paths(key)[2]
+        try:
+            meta = json.loads(json_path.read_text())
+            record = meta["native"]
+            if record["native_version"] != NATIVE_VERSION:
+                raise ValueError("native emitter version skew")
+            if record["source_sha256"] != sha:
+                raise ValueError("native source hash mismatch")
+            if record["tag"] != native_tag():
+                raise ValueError("platform/ABI skew")
+            if not so_path.exists():
+                raise FileNotFoundError(so_path)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.discard_native(key)
+            return None
+        return so_path
+
+    def reserve_native(self, key: str) -> Optional[Path]:
+        """Where the compiler should place *key*'s ``.so`` (``None`` on error)."""
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return None
+        return self._native_paths(key)[1]
+
+    def publish_native(self, key: str, c_source: str, sha: str) -> None:
+        """Record a freshly compiled artifact's validity metadata.
+
+        Called after the ``.so`` landed (atomically) at the reserved path:
+        writes the ``.c`` source alongside it and merges the ``native``
+        record into the json metadata.  The json is written last — a crash
+        between the ``.so`` and the json leaves an artifact that simply
+        reads as a miss.  Failures are swallowed (the cache is best-effort).
+        """
+        from .emit_c import NATIVE_VERSION, native_tag
+
+        c_path = self._native_paths(key)[0]
+        json_path = self._paths(key)[2]
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            header = f"/* fingerprint: {key} */\n"
+            self._atomic_write(c_path, (header + c_source).encode())
+            try:
+                meta = json.loads(json_path.read_text())
+                if not isinstance(meta, dict):
+                    meta = {}
+            except (OSError, ValueError):
+                meta = {}
+            meta["native"] = {
+                "native_version": NATIVE_VERSION,
+                "source_sha256": sha,
+                "tag": native_tag(),
+            }
+            self._atomic_write(json_path, json.dumps(meta, indent=2).encode())
+        except OSError:
+            self.stats.errors += 1
+            return
+        self.stats.writes += 1
+
+    def discard_native(self, key: str) -> None:
+        """Drop *key*'s native artifact (and its validity record) best-effort."""
+        for path in self._native_paths(key):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        json_path = self._paths(key)[2]
+        try:
+            meta = json.loads(json_path.read_text())
+            if isinstance(meta, dict) and meta.pop("native", None) is not None:
+                self._atomic_write(json_path, json.dumps(meta, indent=2).encode())
+        except (OSError, ValueError):
+            pass
 
     # -- single-flight locks ---------------------------------------------------
     def try_lock_flight(self, key: str) -> Any:

@@ -13,10 +13,11 @@ Each :class:`~repro.graph.fusion.FusionGroup` becomes one prebuilt kernel:
   backend's horizontal-fusion pass launches the merged program as a single
   kernel.
 
-If emitting a merged program fails, or the emitted tier declines it (no
-stage-IV source), the group falls back to node-by-node singleton kernels —
-bit-exact by construction, since fusion never alters any nest's computation
-or order.
+If emitting a merged program fails, the emitted tier declines it (no
+stage-IV source), or the merge would *demote* native-capable members to the
+emitted tier (see :meth:`CompiledGraph._fusion_demotes_tier`), the group
+falls back to node-by-node singleton kernels — bit-exact by construction,
+since fusion never alters any nest's computation or order.
 
 At run time the executor walks the units in order, feeds each kernel the
 values its ``bindmap`` names, finalises outputs that later units (or the
@@ -94,6 +95,8 @@ class _FusedState:
     zero_fill: List[np.ndarray]
     #: (destination, pristine copy) per stored-to constant buffer.
     refresh: List[Tuple[np.ndarray, np.ndarray]]
+    #: Which dispatch tier ``runner`` came from ("native" or "emitted").
+    engine: str = "emitted"
 
 
 @dataclass
@@ -192,6 +195,8 @@ class CompiledGraph:
             # running it interpreted would be slower than unfused emitted
             # kernels, so decline the fusion entirely.
             return None
+        if self._fusion_demotes_tier(group, kernel):
+            return None
         index_of = {node.id: i for i, node in enumerate(self.graph.nodes)}
         return _ExecUnit(
             kernel=kernel,
@@ -201,6 +206,28 @@ class CompiledGraph:
             max_node_index=max(index_of[node.id] for node in group.nodes),
             fused=True,
         )
+
+    def _fusion_demotes_tier(self, group: FusionGroup, kernel: Any) -> bool:
+        """Would merging drop native-capable members to the emitted tier?
+
+        A merged program inherits the *weakest* member's dispatch tier: one
+        node outside the C fragment (e.g. a softmax's ``exp``, kept off the
+        native tier for bit-exactness) pins the whole launch to emitted
+        NumPy.  When a toolchain is present and at least one member's
+        standalone program compiles natively, the saved launch overhead is
+        dwarfed by the lost native speedup, so the planner declines the
+        merge and lets the members run node-at-a-time on their best tiers.
+        """
+        from ..core.codegen.emit_c import toolchain_available
+
+        if not toolchain_available() or kernel.native_source() is not None:
+            return False
+        for node in group.nodes:
+            func, _ = registry.build_spec_program(node.spec)
+            # Cache hit for the fall-back singleton build of the same node.
+            if self.session.build(func).native_source() is not None:
+                return True
+        return False
 
     # -- execution ---------------------------------------------------------------
     def _fused_state(self, index: int, unit: _ExecUnit) -> Any:
@@ -214,7 +241,14 @@ class CompiledGraph:
         if state is not None:
             return state
         kernel = unit.kernel
-        runner = kernel._emitted_runner()
+        # The fused unit gets the native tier through the same shared build
+        # path as standalone kernels; the emitted NumPy runner is the
+        # fallback when the merged program (or this machine) lacks it.
+        engine = "native"
+        runner = kernel._native_runner()
+        if runner is None:
+            engine = "emitted"
+            runner = kernel._emitted_runner()
         if runner is None:
             self._states[index] = False
             return False
@@ -251,7 +285,7 @@ class CompiledGraph:
                 arrays[name] = arr
                 if name in stored:
                     zero_fill.append(arr)
-        state = _FusedState(runner, arrays, copy_in, zero_fill, refresh)
+        state = _FusedState(runner, arrays, copy_in, zero_fill, refresh, engine)
         self._states[index] = state
         return state
 
@@ -271,7 +305,10 @@ class CompiledGraph:
         for dst, pristine in state.refresh:
             np.copyto(dst, pristine)
         out = state.runner(state.arrays)
-        self.session.stats.emitted_runs += 1
+        if state.engine == "native":
+            self.session.stats.native_runs += 1
+        else:
+            self.session.stats.emitted_runs += 1
         return out
 
     def run(self, feeds: Optional[Mapping[str, np.ndarray]] = None) -> Dict[str, np.ndarray]:

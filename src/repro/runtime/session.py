@@ -33,7 +33,7 @@ Example:
     >>> csr = CSRMatrix.from_dense(np.eye(4, dtype=np.float32))
     >>> session.spmm(csr, np.ones((4, 2), dtype=np.float32)).shape
     (4, 2)
-    >>> session.stats.emitted_runs
+    >>> session.stats.fast_runs
     1
 """
 
@@ -56,11 +56,12 @@ from .keys import content_key, resolve_dtype
 class SessionStats:
     """Counters describing the compile/run activity of one session.
 
-    ``emitted_runs`` / ``vectorized_runs`` / ``interpreted_runs`` count which
-    dispatch tier served each kernel execution.  Compilation-side counters
-    (``lowerings``, ``emissions``, ``disk_hits``) live on the kernel cache —
-    read them from ``session.cache.stats`` to assert that a warm-started
-    process did no compilation work at all.
+    ``native_runs`` / ``emitted_runs`` / ``vectorized_runs`` /
+    ``interpreted_runs`` count which dispatch tier served each kernel
+    execution.  Compilation-side counters (``lowerings``, ``emissions``,
+    ``native_hits``, ``native_rebuilds``, ``disk_hits``) live on the kernel
+    cache — read them from ``session.cache.stats`` to assert that a
+    warm-started process did no compilation work at all.
     """
 
     builds: int = 0
@@ -68,6 +69,7 @@ class SessionStats:
     kernel_cache_misses: int = 0
     format_cache_hits: int = 0
     format_cache_misses: int = 0
+    native_runs: int = 0
     emitted_runs: int = 0
     vectorized_runs: int = 0
     interpreted_runs: int = 0
@@ -79,12 +81,18 @@ class SessionStats:
 
     @property
     def runs(self) -> int:
-        return self.emitted_runs + self.vectorized_runs + self.interpreted_runs
+        return (
+            self.native_runs
+            + self.emitted_runs
+            + self.vectorized_runs
+            + self.interpreted_runs
+        )
 
     @property
     def fast_runs(self) -> int:
-        """Runs served without the scalar interpreter (emitted or vectorized)."""
-        return self.emitted_runs + self.vectorized_runs
+        """Runs served without the scalar interpreter (native, emitted or
+        vectorized)."""
+        return self.native_runs + self.emitted_runs + self.vectorized_runs
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -93,6 +101,7 @@ class SessionStats:
             "kernel_cache_misses": self.kernel_cache_misses,
             "format_cache_hits": self.format_cache_hits,
             "format_cache_misses": self.format_cache_misses,
+            "native_runs": self.native_runs,
             "emitted_runs": self.emitted_runs,
             "vectorized_runs": self.vectorized_runs,
             "interpreted_runs": self.interpreted_runs,
@@ -241,7 +250,9 @@ class Session:
     ) -> Dict[str, np.ndarray]:
         """Execute an already-built kernel with the session's engine."""
         result = kernel.run(bindings, engine=self.engine)
-        if kernel.last_engine == "emitted":
+        if kernel.last_engine == "native":
+            self.stats.native_runs += 1
+        elif kernel.last_engine == "emitted":
             self.stats.emitted_runs += 1
         elif kernel.last_engine == "vectorized":
             self.stats.vectorized_runs += 1

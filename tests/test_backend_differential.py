@@ -1,12 +1,19 @@
-"""Differential harness: the three dispatch tiers must agree bit for bit.
+"""Differential harness: the four dispatch tiers must agree bit for bit.
 
 Every test builds a stage-I program from hypothesis-randomized formats,
-shapes and value dtypes, runs it through the emitted stage-IV kernel, the
-vectorized executor and the scalar interpreter, and asserts that **every**
-buffer of the result is bit-identical (``np.array_equal`` on the raw
-arrays, dtype equality included).  Structural-zero paths (padded ELL slots,
-empty rows, empty relations, nnz=0 matrices) are exercised explicitly —
-they are where the tiers' masking strategies differ most.
+shapes and value dtypes, runs it through the native compiled-C kernel
+(when a toolchain is present), the emitted stage-IV kernel, the vectorized
+executor and the scalar interpreter, and asserts that **every** buffer of
+the result is bit-identical (``np.array_equal`` on the raw arrays, dtype
+equality included).  Structural-zero paths (padded ELL slots, empty rows,
+empty relations, nnz=0 matrices) are exercised explicitly — they are where
+the tiers' masking strategies differ most.
+
+The native tier is compared against the *emitted* tier: both materialise
+whole-scalar reduction residuals at NumPy's ``np.full``/``ufunc.at``
+promotion semantics, so they agree bitwise by construction wherever the
+emitted tier agrees with the interpreter (which this battery also asserts),
+and the comparison stays transitive across all four tiers.
 """
 
 import numpy as np
@@ -40,7 +47,9 @@ def random_dense(rows, cols, density, dtype, seed):
 
 
 def assert_tiers_bit_exact(func, expect_emitted=True):
-    """Run a program on all three tiers and compare every buffer bitwise."""
+    """Run a program on all four tiers and compare every buffer bitwise."""
+    from repro.core.codegen.emit_c import toolchain_available
+
     kernel = build(func, cache=False)
     if expect_emitted:
         assert kernel.emitted_source() is not None, "program fell out of the emitter fragment"
@@ -48,6 +57,11 @@ def assert_tiers_bit_exact(func, expect_emitted=True):
     vectorized = kernel.run(engine="vectorized")
     emitted = kernel.run(engine="emitted")
     assert kernel.last_engine == "emitted"
+    native = None
+    if toolchain_available() and kernel.native_source() is not None:
+        native = kernel.run(engine="native")
+        assert kernel.last_engine == "native"
+        assert native.keys() == emitted.keys()
     assert interpreted.keys() == vectorized.keys() == emitted.keys()
     for name in interpreted:
         assert interpreted[name].dtype == emitted[name].dtype, name
@@ -57,6 +71,11 @@ def assert_tiers_bit_exact(func, expect_emitted=True):
         assert np.array_equal(interpreted[name], emitted[name]), (
             f"emitted diverges from interpreter on {name!r}"
         )
+        if native is not None:
+            assert emitted[name].dtype == native[name].dtype, name
+            assert np.array_equal(emitted[name], native[name]), (
+                f"native diverges from emitted on {name!r}"
+            )
     return emitted
 
 

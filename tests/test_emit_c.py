@@ -1,0 +1,418 @@
+"""The native (C) stage-IV backend: goldens, artifact cache, fallback ladder.
+
+Golden tests pin the emitted C source of the three canonical kernels against
+files committed under ``tests/goldens/`` (same ``--regen-golden`` workflow as
+the NumPy goldens — regenerate, review the diff, commit).  The artifact-cache
+tests plant skewed or corrupted ``.so`` records and assert they load as
+*misses that rebuild*, never as imports; the subprocess test proves a cold
+process reuses a warm native artifact with zero compilation.
+"""
+
+import difflib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.codegen.build import build
+from repro.core.codegen.cache import (
+    CACHE_ENV_VAR,
+    DiskKernelCache,
+    KernelCache,
+)
+from repro.core.codegen import emit_c
+from repro.core.codegen.emit_c import (
+    NATIVE_ENV_VAR,
+    NATIVE_VERSION,
+    UnsupportedForC,
+    emit_c_source,
+    find_compiler,
+    native_tag,
+    source_sha,
+    toolchain_available,
+)
+from repro.formats.csr import CSRMatrix
+from repro.ops.spmm import build_spmm_program, spmm_reference
+from repro.runtime.vectorized import UnsupportedProgram
+
+from test_emit_numpy import GOLDEN_DIR, canonical_lowered
+
+needs_cc = pytest.mark.skipif(
+    not toolchain_available(), reason="no C compiler available"
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_lib_memo():
+    """Isolate the process-wide sha -> dlopened-library memo per test.
+
+    Without this, the first test to compile a source pins its library for
+    the whole session and later tests could never observe a disk hit or a
+    rebuild for the same source.
+    """
+    with emit_c._MEMO_LOCK:
+        saved = dict(emit_c._LIB_MEMO)
+        emit_c._LIB_MEMO.clear()
+    yield
+    with emit_c._MEMO_LOCK:
+        emit_c._LIB_MEMO.clear()
+        emit_c._LIB_MEMO.update(saved)
+
+
+@pytest.fixture
+def csr():
+    return CSRMatrix.random(rows=16, cols=12, density=0.3, seed=5)
+
+
+def _build_once(csr, cache, feat=4, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((csr.cols, feat)).astype(np.float32)
+    return build(build_spmm_program(csr, feat, x), cache=cache), x
+
+
+class TestGoldenCSources:
+    @pytest.mark.parametrize("name", ["spmm_csr", "sddmm_csr_fused", "pruned_spmm_bsr"])
+    def test_emitted_c_matches_golden(self, name, request):
+        c_source, _glue = emit_c_source(canonical_lowered(name))
+        path = GOLDEN_DIR / f"{name}.c"
+        if request.config.getoption("--regen-golden"):
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(c_source)
+            pytest.skip(f"regenerated {path.name}")
+        assert path.exists(), (
+            f"golden file {path} is missing; run `pytest --regen-golden` to create it"
+        )
+        golden = path.read_text()
+        if c_source != golden:
+            diff = "\n".join(
+                difflib.unified_diff(
+                    golden.splitlines(),
+                    c_source.splitlines(),
+                    fromfile=f"goldens/{name}.c (committed)",
+                    tofile=f"{name} (emitted now)",
+                    lineterm="",
+                )
+            )
+            pytest.fail(
+                "emitted C source drifted from the golden file.  If the change\n"
+                "is intentional, regenerate with `pytest --regen-golden` and\n"
+                f"commit the diff.\n\n{diff}"
+            )
+
+    def test_emission_is_deterministic(self):
+        func = canonical_lowered("spmm_csr")
+        assert emit_c_source(func) == emit_c_source(func)
+
+    def test_source_header_names_version(self):
+        c_source, glue_source = emit_c_source(canonical_lowered("spmm_csr"))
+        assert f"emit_c v{NATIVE_VERSION}" in c_source
+        assert f"emit_c v{NATIVE_VERSION}" in glue_source
+
+    def test_c_source_is_size_free(self):
+        """Two structures of one program family share one C source (and so
+        one compilation): sizes travel through tables and ``ipar``."""
+        a = CSRMatrix.random(rows=16, cols=12, density=0.3, seed=1)
+        b = CSRMatrix.random(rows=64, cols=48, density=0.1, seed=2)
+        src_a, _ = emit_c_source(build(build_spmm_program(a, 4), cache=False).func)
+        src_b, _ = emit_c_source(build(build_spmm_program(b, 4), cache=False).func)
+        assert src_a == src_b
+
+    @needs_cc
+    @pytest.mark.parametrize("name", ["spmm_csr", "sddmm_csr_fused", "pruned_spmm_bsr"])
+    def test_golden_c_compiles_and_runs_bit_exact(self, name, tmp_path):
+        """The committed goldens are live code: compile the .c file that is
+        actually in the repository and compare against the interpreter."""
+        func = canonical_lowered(name)
+        c_source, glue_source = emit_c_source(func)
+        path = GOLDEN_DIR / f"{name}.c"
+        assert path.exists()
+        runner = emit_c.load_native(func, path.read_text(), glue_source)
+        from repro.runtime.executor import prepare_arrays
+
+        expected = build(func, cache=False).run(engine="interpret")
+        got = runner(prepare_arrays(func, {}))
+        for key in expected:
+            assert expected[key].dtype == got[key].dtype, key
+            assert np.array_equal(expected[key], got[key]), key
+
+
+class TestUnsupportedConstructs:
+    def test_exp_is_rejected(self):
+        """softmax-style programs (exp) stay off the native tier: NumPy's
+        SIMD exp is not bit-identical to libm's."""
+        from repro.ops.batched import build_edge_softmax_program
+
+        csr = CSRMatrix.random(rows=8, cols=8, density=0.4, seed=3)
+        scores = np.random.default_rng(0).standard_normal((2, csr.nnz)).astype(np.float32)
+        func = build(build_edge_softmax_program(csr, 2, scores), cache=False).func
+        with pytest.raises(UnsupportedForC):
+            emit_c_source(func)
+
+    def test_unsupported_program_falls_back_not_errors(self, csr):
+        from repro.ops.batched import build_edge_softmax_program
+
+        scores = np.random.default_rng(0).standard_normal((2, csr.nnz)).astype(np.float32)
+        kernel = build(build_edge_softmax_program(csr, 2, scores), cache=False)
+        assert kernel.native_source() is None
+        kernel.run()
+        assert kernel.last_engine != "native"
+        with pytest.raises(UnsupportedProgram):
+            kernel.run(engine="native")
+
+
+class TestToolchainGating:
+    def test_env_var_disables_tier(self, monkeypatch, csr):
+        monkeypatch.setenv(NATIVE_ENV_VAR, "0")
+        assert find_compiler() is None and not toolchain_available()
+        kernel, x = _build_once(csr, cache=False)
+        out = kernel.run()
+        assert kernel.last_engine == "emitted"
+        assert np.allclose(out["C"].reshape(csr.rows, 4), spmm_reference(csr, x), atol=1e-4)
+
+    def test_missing_compiler_is_graceful(self, monkeypatch, csr):
+        """CC pointing at a non-existent path simulates a machine with no
+        compiler: the native tier reports unavailable, never errors."""
+        monkeypatch.delenv(NATIVE_ENV_VAR, raising=False)
+        monkeypatch.setenv("CC", "/nonexistent/cc")
+        assert not toolchain_available()
+        kernel, x = _build_once(csr, cache=False)
+        out = kernel.run()
+        assert kernel.last_engine == "emitted"
+        assert np.allclose(out["C"].reshape(csr.rows, 4), spmm_reference(csr, x), atol=1e-4)
+        with pytest.raises(UnsupportedProgram):
+            kernel.run(engine="native")
+
+    @needs_cc
+    def test_gating_is_not_memoised(self, monkeypatch):
+        assert toolchain_available()
+        monkeypatch.setenv(NATIVE_ENV_VAR, "off")
+        assert not toolchain_available()
+        monkeypatch.delenv(NATIVE_ENV_VAR)
+        assert toolchain_available()
+
+
+def _forget_compiled_libs():
+    """Drop the process-wide sha -> library memo (simulates a cold process).
+
+    Without this every second build in a test would reuse the already
+    dlopened library and never consult the disk layer at all.
+    """
+    with emit_c._MEMO_LOCK:
+        emit_c._LIB_MEMO.clear()
+
+
+@needs_cc
+class TestArtifactCache:
+    def _warm(self, csr, tmp_path, seed=0):
+        _forget_compiled_libs()
+        cache = KernelCache(disk=DiskKernelCache(tmp_path))
+        kernel, x = _build_once(csr, cache, seed=seed)
+        out = kernel.run()
+        assert kernel.last_engine == "native"
+        assert np.allclose(out["C"].reshape(csr.rows, 4), spmm_reference(csr, x), atol=1e-4)
+        return cache
+
+    def _key_and_paths(self, cache):
+        disk = cache.disk
+        pkl = next(disk.dir.glob("*.pkl"))
+        key = pkl.stem
+        base = disk.dir / key
+        return key, base.with_suffix(".c"), base.with_suffix(".so"), base.with_suffix(".json")
+
+    def test_artifact_files_and_validity_record(self, csr, tmp_path):
+        cache = self._warm(csr, tmp_path)
+        assert cache.stats.native_rebuilds == 1 and cache.stats.native_hits == 0
+        key, c_path, so_path, json_path = self._key_and_paths(cache)
+        assert c_path.exists() and so_path.exists()
+        assert c_path.read_text().startswith(f"/* fingerprint: {key} */")
+        record = json.loads(json_path.read_text())["native"]
+        assert record["native_version"] == NATIVE_VERSION
+        assert record["tag"] == native_tag()
+        sha = source_sha(c_path.read_text().split("*/\n", 1)[1])
+        assert record["source_sha256"] == sha
+
+    def test_warm_cache_loads_without_compiling(self, csr, tmp_path):
+        self._warm(csr, tmp_path)
+        cold = self._warm(csr, tmp_path, seed=1)
+        assert cold.stats.native_hits == 1 and cold.stats.native_rebuilds == 0
+
+    def test_version_skew_is_a_miss_that_rebuilds(self, csr, tmp_path):
+        """Acceptance regression: plant an artifact whose recorded emitter
+        version is stale — it must rebuild, never import."""
+        self._warm(csr, tmp_path)
+        cache = KernelCache(disk=DiskKernelCache(tmp_path))
+        _key, _c, so_path, json_path = self._key_and_paths(cache)
+        mtime = so_path.stat().st_mtime_ns
+        meta = json.loads(json_path.read_text())
+        meta["native"]["native_version"] = NATIVE_VERSION - 1
+        json_path.write_text(json.dumps(meta))
+
+        cold = self._warm(csr, tmp_path, seed=2)
+        assert cold.stats.native_hits == 0 and cold.stats.native_rebuilds == 1
+        # The artifact was recompiled and republished with the current record.
+        assert so_path.stat().st_mtime_ns != mtime
+        record = json.loads(json_path.read_text())["native"]
+        assert record["native_version"] == NATIVE_VERSION
+
+    def test_platform_tag_skew_is_a_miss(self, csr, tmp_path):
+        self._warm(csr, tmp_path)
+        cache = KernelCache(disk=DiskKernelCache(tmp_path))
+        _key, _c, _so, json_path = self._key_and_paths(cache)
+        meta = json.loads(json_path.read_text())
+        meta["native"]["tag"] = "win32-sparc-cpython-27"
+        json_path.write_text(json.dumps(meta))
+        cold = self._warm(csr, tmp_path, seed=3)
+        assert cold.stats.native_hits == 0 and cold.stats.native_rebuilds == 1
+
+    def test_source_hash_skew_is_a_miss(self, csr, tmp_path):
+        self._warm(csr, tmp_path)
+        cache = KernelCache(disk=DiskKernelCache(tmp_path))
+        _key, _c, _so, json_path = self._key_and_paths(cache)
+        meta = json.loads(json_path.read_text())
+        meta["native"]["source_sha256"] = "0" * 64
+        json_path.write_text(json.dumps(meta))
+        cold = self._warm(csr, tmp_path, seed=4)
+        assert cold.stats.native_hits == 0 and cold.stats.native_rebuilds == 1
+
+    def test_corrupt_so_with_valid_record_rebuilds(self, csr, tmp_path):
+        """A truncated shared object behind a valid json record fails to
+        dlopen; the loader discards it and rebuilds rather than erroring.
+
+        The corrupt artifact is planted *without* ever loading its path in
+        this process: ``dlopen`` dedupes loaded libraries by path name, so a
+        previously loaded good artifact at the same path would mask the
+        corruption (a real cold process has no such handle).
+        """
+        cache = KernelCache(disk=DiskKernelCache(tmp_path))
+        kernel, _ = _build_once(csr, cache)
+        c_source = kernel.native_source()
+        assert c_source is not None
+        key = next(cache.disk.dir.glob("*.pkl")).stem
+        so_path = cache.disk.reserve_native(key)
+        so_path.write_bytes(b"\x7fELF this is not a shared object")
+        cache.disk.publish_native(key, c_source, source_sha(c_source))
+        assert json.loads((cache.disk.dir / f"{key}.json").read_text())["native"]
+
+        cold = self._warm(csr, tmp_path, seed=5)
+        assert cold.stats.native_hits == 0 and cold.stats.native_rebuilds == 1
+        # ... and the republished artifact is valid again.
+        warm = self._warm(csr, tmp_path, seed=6)
+        assert warm.stats.native_hits == 1 and warm.stats.native_rebuilds == 0
+
+    def test_missing_so_with_record_is_a_miss(self, csr, tmp_path):
+        self._warm(csr, tmp_path)
+        cache = KernelCache(disk=DiskKernelCache(tmp_path))
+        key, _c, so_path, _json = self._key_and_paths(cache)
+        so_path.unlink()
+        assert cache.disk.get_native(key, "anything") is None
+        cold = self._warm(csr, tmp_path, seed=7)
+        assert cold.stats.native_rebuilds == 1
+
+    def test_discard_native_keeps_numpy_payload(self, csr, tmp_path):
+        """Dropping the native artifact must not invalidate the (independent)
+        lowered-program + emitted-NumPy payload."""
+        cache = self._warm(csr, tmp_path)
+        key, c_path, so_path, json_path = self._key_and_paths(cache)
+        cache.disk.discard_native(key)
+        assert not c_path.exists() and not so_path.exists()
+        assert "native" not in json.loads(json_path.read_text())
+        _forget_compiled_libs()
+        cold = KernelCache(disk=DiskKernelCache(tmp_path))
+        kernel, _ = _build_once(csr, cold, seed=8)
+        assert cold.stats.disk_hits == 1 and cold.stats.lowerings == 0
+        kernel.run()
+        assert kernel.last_engine == "native"
+        assert cold.stats.native_rebuilds == 1
+
+
+_NATIVE_WARM_SCRIPT = """
+import numpy as np
+from repro.formats.csr import CSRMatrix
+from repro.runtime.session import Session
+
+rng = np.random.default_rng(0)
+dense = (rng.random((40, 30)) < 0.2).astype(np.float32)
+dense *= rng.standard_normal((40, 30)).astype(np.float32)
+csr = CSRMatrix.from_dense(dense)
+session = Session()
+
+x = rng.standard_normal((30, 8)).astype(np.float32)
+out = session.spmm(csr, x)
+assert np.allclose(out, csr.to_scipy() @ x, atol=1e-4)
+
+cache = session.cache.stats
+print("STATS", cache.native_hits, cache.native_rebuilds, session.stats.native_runs)
+"""
+
+
+@needs_cc
+class TestColdProcessNativeWarmStart:
+    def test_second_process_compiles_nothing(self, tmp_path):
+        """Acceptance: a cold process finds the warm ``.so`` through the disk
+        cache and serves the run natively with zero compilation."""
+        env = dict(os.environ, **{CACHE_ENV_VAR: str(tmp_path)})
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+        def run_once():
+            proc = subprocess.run(
+                [sys.executable, "-c", _NATIVE_WARM_SCRIPT],
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=180,
+            )
+            assert proc.returncode == 0, proc.stderr
+            stats = [
+                line for line in proc.stdout.splitlines() if line.startswith("STATS")
+            ][0].split()[1:]
+            return [int(v) for v in stats]
+
+        native_hits, native_rebuilds, native_runs = run_once()
+        assert native_hits == 0 and native_rebuilds == 1
+        assert native_runs == 1
+
+        native_hits, native_rebuilds, native_runs = run_once()
+        assert native_rebuilds == 0, "warm start re-ran the C compiler"
+        assert native_hits == 1
+        assert native_runs == 1
+
+
+@needs_cc
+class TestNativeRunnerProtocol:
+    def test_runner_built_once_and_reused(self, csr):
+        kernel, _ = _build_once(csr, cache=False)
+        first = kernel._native_runner()
+        second = kernel._native_runner()
+        assert first is not None and first is second
+
+    def test_failed_build_decided_once(self, csr, monkeypatch):
+        """A compile failure marks the entry so the fallback is decided once
+        (no repeated compiler invocations on the hot path)."""
+        kernel, x = _build_once(csr, cache=False)
+        calls = []
+
+        def failing_compile(c_source, out_path):
+            calls.append(out_path)
+            raise emit_c.NativeBuildError("injected failure")
+
+        monkeypatch.setattr(emit_c, "compile_so", failing_compile)
+        out = kernel.run()
+        assert kernel.last_engine == "emitted"
+        kernel.run()
+        assert len(calls) == 1
+        assert np.allclose(out["C"].reshape(csr.rows, 4), spmm_reference(csr, x), atol=1e-4)
+
+    def test_session_counts_native_runs(self, csr):
+        from repro.runtime.session import Session
+
+        session = Session(persistent=False)
+        x = np.random.default_rng(1).standard_normal((csr.cols, 4)).astype(np.float32)
+        out = session.spmm(csr, x)
+        assert session.stats.native_runs == 1
+        assert session.stats.fast_runs == 1
+        assert np.allclose(out, spmm_reference(csr, x), atol=1e-4)

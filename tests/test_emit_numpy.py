@@ -127,9 +127,9 @@ class TestEmitterBehaviour:
         feats = np.ones((4, 3), dtype=np.float32)
         kernel = build(build_spmm_program(csr, 3, feats), cache=False)
         kernel.run()
-        assert kernel.last_engine == "emitted"
+        assert kernel.last_engine in ("native", "emitted")
         rebound = kernel.run({"J_indptr": csr.indptr.copy()})
-        assert kernel.last_engine != "emitted"
+        assert kernel.last_engine not in ("native", "emitted")
         assert np.array_equal(rebound["C"], kernel.run()["C"])
 
     def test_strict_engine_raises_for_unemittable_program(self):

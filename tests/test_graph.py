@@ -3,8 +3,10 @@
 Correctness contract under test: a fused :class:`CompiledGraph` is **bit
 exact** with its node-by-node unfused lowering (fusion never changes any
 nest's computation or execution order), singleton graph nodes share kernel
-cache entries with the eager ``Session`` methods, and every fused chain
-launches strictly fewer kernels than its unfused counterpart.
+cache entries with the eager ``Session`` methods, and every chain the
+planner actually merges launches strictly fewer kernels than its unfused
+counterpart (a merge is declined when it would demote native-capable
+members to the emitted tier).
 """
 
 import warnings
@@ -339,7 +341,7 @@ class TestCompiledGraphExecution:
 
 
 class TestAttentionChain:
-    def test_fused_attention_single_kernel(self, session, rng):
+    def _graphs(self, session):
         config = AttentionConfig(seq_len=96, num_heads=2, head_dim=8, band_size=32)
         mask = band_mask(config.seq_len, config.band_size, config.block_size)
         q, k, v = attention_inputs(config, seed=5)
@@ -347,16 +349,39 @@ class TestAttentionChain:
         out1 = capture_sparse_attention(g1, mask, q, k, v)
         g2 = session.graph()
         out2 = capture_sparse_attention(g2, mask, q, k, v)
+        ref = sparse_attention_reference(mask, q, k, v)
+        return g1, out1, g2, out2, ref
+
+    def test_fused_attention_single_kernel(self, session, rng, monkeypatch):
+        # Without the native tier all members run emitted, so the planner
+        # merges the whole chain into one launch (the PR-5 contract).
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        g1, out1, g2, out2, ref = self._graphs(session)
         fused, unfused = g1.compile(fuse=True), g2.compile(fuse=False)
         assert fused.num_kernel_launches == 1
         assert unfused.num_kernel_launches == 3
         rf = fused.run()[out1.name]
         assert np.array_equal(rf, unfused.run()[out2.name])
-        ref = sparse_attention_reference(mask, q, k, v)
         np.testing.assert_allclose(rf, ref, rtol=1e-4, atol=1e-5)
         # Attention weights are a softmax: each row with stored edges sums to 1
         # implicitly; the output lives in the convex hull of V rows.
         assert np.isfinite(rf).all()
+
+    def test_fusion_declined_when_it_would_demote_native_members(self, session, rng):
+        """With a C toolchain, merging the chain would pin the SDDMM/SpMM
+        members to the emitted tier (softmax's ``exp`` is outside the C
+        fragment), so the planner keeps them as native singletons."""
+        from repro.core.codegen.emit_c import toolchain_available
+
+        if not toolchain_available():
+            pytest.skip("requires a C toolchain")
+        g1, out1, g2, out2, ref = self._graphs(session)
+        fused, unfused = g1.compile(fuse=True), g2.compile(fuse=False)
+        assert fused.num_kernel_launches == 3
+        assert fused.num_nodes_fused == 0
+        rf = fused.run()[out1.name]
+        assert np.array_equal(rf, unfused.run()[out2.name])
+        np.testing.assert_allclose(rf, ref, rtol=1e-4, atol=1e-5)
 
 
 class TestModelCompile:
